@@ -1,0 +1,88 @@
+// Command syccl-sim simulates an MSCCL-XML schedule on a topology — the
+// stand-in for handing the file to MSCCL-executor (§6) — and reports
+// completion time, bus bandwidth, and per-dimension utilization.
+//
+// Usage:
+//
+//	syccl-sim -topo a100x16 -xml ag.xml -collective allgather -size 64M
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"syccl/internal/cli"
+	"syccl/internal/metrics"
+	"syccl/internal/mxml"
+	"syccl/internal/sim"
+	"syccl/internal/trace"
+)
+
+func main() {
+	topoSpec := flag.String("topo", "a100x16", "topology spec")
+	xmlPath := flag.String("xml", "", "MSCCL XML schedule file")
+	kind := flag.String("collective", "", "optional: validate against this collective kind")
+	sizeSpec := flag.String("size", "", "aggregate data size for validation/busbw")
+	timeline := flag.Bool("timeline", false, "print a per-GPU activity chart and event log")
+	events := flag.Int("events", 20, "event-log rows with -timeline (0 = all)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "syccl-sim:", err)
+		os.Exit(1)
+	}
+
+	if *xmlPath == "" {
+		fail(fmt.Errorf("-xml is required"))
+	}
+	top, err := cli.ParseTopology(*topoSpec)
+	if err != nil {
+		fail(err)
+	}
+	data, err := os.ReadFile(*xmlPath)
+	if err != nil {
+		fail(err)
+	}
+	sched, params, err := mxml.Parse(data)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("parsed %q: %d GPUs, %d pieces, %d transfers (proto=%s channels=%d)\n",
+		params.Name, sched.NumGPUs, len(sched.Pieces), len(sched.Transfers), params.Proto, params.NChannels)
+
+	res, err := sim.Simulate(top, sched, mxml.SimOptions(params))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("completion: %.6gs over %d events\n", res.Time, res.Events)
+	for d := 0; d < top.NumDims(); d++ {
+		fmt.Printf("  dim %d (%s): utilization %.1f%%\n", d, top.Dim(d).Name, res.Utilization(top, d)*100)
+	}
+
+	if *timeline {
+		tl := trace.Build(sched, res)
+		fmt.Println()
+		fmt.Print(tl.Gantt(top, 72))
+		fmt.Println()
+		fmt.Print(tl.DimSummary(top, res))
+		fmt.Println()
+		fmt.Print(tl.EventLog(*events))
+	}
+
+	if *kind != "" && *sizeSpec != "" {
+		size, err := cli.ParseSize(*sizeSpec)
+		if err != nil {
+			fail(err)
+		}
+		col, err := cli.BuildCollective(*kind, top.NumGPUs(), size)
+		if err != nil {
+			fail(err)
+		}
+		if err := sched.Validate(col); err != nil {
+			fail(fmt.Errorf("schedule does not satisfy %v: %w", col.Kind, err))
+		}
+		bus := metrics.BusBandwidth(col.Kind, col.NumGPUs, metrics.DataBytes(col), res.Time)
+		fmt.Printf("valid %v schedule; busbw %.1f GBps\n", col.Kind, bus/1e9)
+	}
+}

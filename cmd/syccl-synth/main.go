@@ -1,0 +1,109 @@
+// Command syccl-synth synthesizes a collective schedule with SyCCL (or a
+// baseline) and reports predicted performance; optionally it writes the
+// schedule as MSCCL-executor XML (§6).
+//
+// Usage:
+//
+//	syccl-synth -topo a100x16 -collective allgather -size 64M -out ag.xml
+//	syccl-synth -topo h800x64 -collective alltoall -size 1G -system teccl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"syccl/internal/cli"
+	"syccl/internal/core"
+	"syccl/internal/metrics"
+	"syccl/internal/mxml"
+	"syccl/internal/nccl"
+	"syccl/internal/schedule"
+	"syccl/internal/sim"
+	"syccl/internal/teccl"
+)
+
+func main() {
+	topoSpec := flag.String("topo", "a100x16", "topology spec")
+	kind := flag.String("collective", "allgather", "collective kind")
+	sizeSpec := flag.String("size", "64M", "aggregate data size (e.g. 1K, 64M, 1G)")
+	system := flag.String("system", "syccl", "synthesizer: syccl | teccl | nccl")
+	out := flag.String("out", "", "write the schedule as MSCCL XML to this file")
+	e1 := flag.Float64("e1", 3.0, "coarse-pass epoch knob E1")
+	e2 := flag.Float64("e2", 0.5, "fine-pass epoch knob E2")
+	workers := flag.Int("workers", 0, "parallel solver instances (0 = GOMAXPROCS)")
+	budget := flag.Duration("teccl-budget", 10*time.Second, "TECCL solve budget")
+	seed := flag.Int64("seed", 0, "random seed")
+	explain := flag.Bool("explain", false, "print the winning sketch combination in the paper's notation (syccl only)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "syccl-synth:", err)
+		os.Exit(1)
+	}
+
+	top, err := cli.ParseTopology(*topoSpec)
+	if err != nil {
+		fail(err)
+	}
+	size, err := cli.ParseSize(*sizeSpec)
+	if err != nil {
+		fail(err)
+	}
+	col, err := cli.BuildCollective(*kind, top.NumGPUs(), size)
+	if err != nil {
+		fail(err)
+	}
+
+	var sched *schedule.Schedule
+	var predicted float64
+	start := time.Now()
+	switch *system {
+	case "syccl":
+		res, err := core.Synthesize(top, col, core.Options{E1: *e1, E2: *e2, Workers: *workers, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		sched, predicted = res.Schedule, res.Time
+		fmt.Printf("phases: search=%v combine=%v solve1=%v solve2=%v (sketches=%d candidates=%d solves=%d cache-hits=%d)\n",
+			res.Phases.Search.Round(time.Microsecond), res.Phases.Combine.Round(time.Microsecond),
+			res.Phases.Solve1.Round(time.Millisecond), res.Phases.Solve2.Round(time.Millisecond),
+			res.Stats.Sketches, res.Stats.Candidates, res.Stats.SolverCalls, res.Stats.CacheHits)
+		if *explain && res.Combination != nil {
+			fmt.Print(res.Combination.DescribeCombination(top))
+		}
+	case "teccl":
+		res, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: *budget, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		sched, predicted = res.Schedule, res.Time
+		fmt.Printf("teccl: %d greedy rounds within %v budget\n", res.Rounds, *budget)
+	case "nccl":
+		s, t, err := nccl.Schedule(top, col, sim.DefaultOptions())
+		if err != nil {
+			fail(err)
+		}
+		sched, predicted = s, t
+	default:
+		fail(fmt.Errorf("unknown system %q", *system))
+	}
+	synthTime := time.Since(start)
+
+	bus := metrics.BusBandwidth(col.Kind, col.NumGPUs, metrics.DataBytes(col), predicted)
+	fmt.Printf("%s %s on %s (%s): %d transfers, predicted %.3gs, busbw %.1f GBps, synthesized in %v\n",
+		*system, col.Kind, top.Name, *sizeSpec, len(sched.Transfers), predicted, bus/1e9,
+		synthTime.Round(time.Millisecond))
+
+	if *out != "" {
+		data, err := mxml.Marshal(sched, mxml.Params{Name: fmt.Sprintf("%s-%s-%s", *system, *kind, *sizeSpec)})
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+	}
+}

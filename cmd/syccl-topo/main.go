@@ -1,0 +1,48 @@
+// Command syccl-topo inspects a topology: its nodes, links, extracted
+// dimensions and groups (§3.1), bandwidth shares, and symmetry action.
+//
+// Usage:
+//
+//	syccl-topo -topo h800x64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"syccl/internal/cli"
+)
+
+func main() {
+	topoSpec := flag.String("topo", "a100x16", "topology spec (see -help)")
+	verbose := flag.Bool("v", false, "also list groups and physical nodes")
+	flag.Parse()
+
+	top, err := cli.ParseTopology(*topoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syccl-topo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s\n", top.Name)
+	fmt.Printf("  GPUs: %d   physical nodes: %d   links: %d\n", top.NumGPUs(), len(top.Nodes), len(top.Links))
+	fmt.Printf("  symmetry: server axis n=%d xor=%v, local axis n=%d xor=%v\n",
+		top.Sym.Server.N, top.Sym.Server.Xor, top.Sym.Local.N, top.Sym.Local.Xor)
+	for d := 0; d < top.NumDims(); d++ {
+		dim := top.Dim(d)
+		fmt.Printf("  dim %d (%s): %d groups × %d GPUs, α=%.2gs β⁻¹=%.1f GB/s, bandwidth share %.1f%%\n",
+			d, dim.Name, len(dim.Groups), dim.GroupSize(0), dim.Alpha, dim.Bandwidth()/1e9,
+			top.BandwidthShare(d)*100)
+		if *verbose {
+			for g, grp := range dim.Groups {
+				fmt.Printf("    G%-3d %v\n", g, grp)
+			}
+		}
+	}
+	if *verbose {
+		for _, n := range top.Nodes {
+			fmt.Printf("  node %3d %-9s server=%d local=%d %s\n", n.ID, n.Kind, n.Server, n.Local, n.Name)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package syccl_test
+
+import (
+	"fmt"
+
+	"syccl"
+)
+
+// ExampleSynthesize synthesizes an AllGather schedule for one 8-GPU
+// server and reports its structure.
+func ExampleSynthesize() {
+	top := syccl.SingleServer(8)
+	col := syccl.AllGather(top.NumGPUs(), 1<<20) // 1 MiB per GPU
+	res, err := syccl.Synthesize(top, col, syccl.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("valid:", res.Schedule.Validate(col) == nil)
+	// Every GPU must receive the 7 other chunks: ≥ 56 deliveries however
+	// the winning schedule splits them.
+	fmt.Println("enough transfers:", len(res.Schedule.Transfers) >= 56)
+	// Output:
+	// valid: true
+	// enough transfers: true
+}
+
+// ExampleToXML shows the MSCCL-executor export path.
+func ExampleToXML() {
+	top := syccl.SingleServer(4)
+	col := syccl.Broadcast(top.NumGPUs(), 0, 4096)
+	res, err := syccl.Synthesize(top, col, syccl.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	data, err := syccl.ToXML(res.Schedule, syccl.RuntimeParams{Name: "bc"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	parsed, params, err := syccl.FromXML(data)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("name:", params.Name)
+	fmt.Println("round trip valid:", parsed.Validate(col) == nil)
+	// Output:
+	// name: bc
+	// round trip valid: true
+}
+
+// ExampleBusBandwidth computes the nccl-tests metric from a predicted
+// completion time.
+func ExampleBusBandwidth() {
+	col := syccl.AllGather(16, 1<<26) // 64 MiB per GPU, 1 GiB aggregate
+	busbw := syccl.BusBandwidth(col, 0.010)
+	fmt.Printf("%.1f GBps\n", busbw/1e9)
+	// Output:
+	// 100.7 GBps
+}

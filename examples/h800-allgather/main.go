@@ -1,0 +1,54 @@
+// H800 AllGather sweep: reproduce the Fig 15(a) story on the 64-GPU
+// rail-optimized H800 cluster — NCCL's 63-hop ring against SyCCL's
+// synthesized two-dimensional schedules, across data sizes.
+//
+// Expected shape: at small sizes SyCCL wins by an order of magnitude
+// (2 hops instead of 63); at large sizes it wins by matching the 3.6:1
+// NVLink:network bandwidth ratio that the ring's fixed 7:1 split wastes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"syccl"
+	"syccl/internal/metrics"
+	"syccl/internal/nccl"
+	"syccl/internal/sim"
+)
+
+func main() {
+	top := syccl.H800Rail(8) // 8 servers × 8 H800 GPUs
+	n := top.NumGPUs()
+	fmt.Println("topology:", top)
+	fmt.Printf("%8s %14s %14s %9s\n", "size", "NCCL GBps", "SyCCL GBps", "speedup")
+
+	for size := float64(64 << 10); size <= 4<<30; size *= 16 {
+		col := syccl.AllGather(n, size/float64(n))
+
+		_, ncclTime, err := nccl.Schedule(top, col, sim.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := syccl.Synthesize(top, col, syccl.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		ncclBW := metrics.BusBandwidth(col.Kind, n, size, ncclTime)
+		sycclBW := syccl.BusBandwidth(col, res.Time)
+		fmt.Printf("%8s %14.1f %14.1f %8.1f×\n",
+			label(size), ncclBW/1e9, sycclBW/1e9, sycclBW/ncclBW)
+	}
+}
+
+func label(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%gG", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%gM", b/(1<<20))
+	default:
+		return fmt.Sprintf("%gK", b/(1<<10))
+	}
+}

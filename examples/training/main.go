@@ -1,0 +1,59 @@
+// Training: estimate end-to-end iteration time for GPT3-6.7B under data
+// parallelism on the 16-GPU A100 testbed, with collectives scheduled by
+// NCCL versus SyCCL — the §7.5 evaluation in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"syccl"
+	"syccl/internal/collective"
+	"syccl/internal/nccl"
+	"syccl/internal/sim"
+	"syccl/internal/workload"
+)
+
+func main() {
+	top := syccl.A100Clos(2)
+	cfg := workload.Config{
+		Model:          workload.GPT3_6B7(),
+		Kind:           workload.DataParallel,
+		Degree:         top.NumGPUs(),
+		ComputeSeconds: 0.580, // calibrated compute term (DESIGN.md #5)
+	}
+
+	trace, err := cfg.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s per-iteration collectives:\n", cfg.Name())
+	for _, call := range trace {
+		fmt.Printf("  %d × %v (%.1f MB per GPU slice)\n",
+			call.Count, call.Collective.Kind, call.Collective.ChunkSize/1e6)
+	}
+
+	ncclTimer := func(col *collective.Collective) (float64, error) {
+		_, t, err := nccl.Schedule(top, col, sim.DefaultOptions())
+		return t, err
+	}
+	sycclTimer := func(col *collective.Collective) (float64, error) {
+		res, err := syccl.Synthesize(top, col, syccl.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Time, nil
+	}
+
+	ncclIter, err := cfg.IterationSeconds(ncclTimer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sycclIter, err := cfg.IterationSeconds(sycclTimer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\niteration time with NCCL:  %.1f ms\n", ncclIter*1e3)
+	fmt.Printf("iteration time with SyCCL: %.1f ms\n", sycclIter*1e3)
+	fmt.Printf("end-to-end speedup: %.1f%%\n", (ncclIter-sycclIter)/ncclIter*100)
+}

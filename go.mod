@@ -1,0 +1,3 @@
+module syccl
+
+go 1.22

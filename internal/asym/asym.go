@@ -1,0 +1,268 @@
+// Package asym handles asymmetric collective workloads — AlltoAllv and
+// AllGatherv, where GPUs send or receive different volumes (MoE-style
+// traffic). §8 of the paper notes that collective symmetry breaks here
+// and recommends heuristic synthesis over symmetry-aware modeling; this
+// package implements that recommendation: a latency/bandwidth-aware
+// greedy scheduler over the same topology and schedule substrate, with
+// PXN-style relaying on rail-only fabrics.
+package asym
+
+import (
+	"fmt"
+	"sort"
+
+	"syccl/internal/schedule"
+	"syccl/internal/topology"
+)
+
+// Pair is one directed transfer requirement.
+type Pair struct {
+	Src, Dst int
+	Bytes    float64
+}
+
+// Demand is an asymmetric collective: an arbitrary multiset of directed
+// requirements.
+type Demand struct {
+	NumGPUs int
+	Pairs   []Pair
+}
+
+// AlltoAllV builds a demand from a size matrix: bytes[s][d] is the
+// payload GPU s sends to GPU d (0 or the diagonal are skipped).
+func AlltoAllV(bytes [][]float64) (*Demand, error) {
+	n := len(bytes)
+	if n < 2 {
+		return nil, fmt.Errorf("asym: need ≥2 GPUs, got %d", n)
+	}
+	d := &Demand{NumGPUs: n}
+	for s := range bytes {
+		if len(bytes[s]) != n {
+			return nil, fmt.Errorf("asym: row %d has %d entries, want %d", s, len(bytes[s]), n)
+		}
+		for dst, b := range bytes[s] {
+			if s == dst || b == 0 {
+				continue
+			}
+			if b < 0 {
+				return nil, fmt.Errorf("asym: negative size at [%d][%d]", s, dst)
+			}
+			d.Pairs = append(d.Pairs, Pair{Src: s, Dst: dst, Bytes: b})
+		}
+	}
+	return d, nil
+}
+
+// AllGatherV builds a demand where GPU i contributes bytes[i] to every
+// other GPU (direct form; relays are introduced by the scheduler when
+// required by the fabric).
+func AllGatherV(bytes []float64) (*Demand, error) {
+	n := len(bytes)
+	if n < 2 {
+		return nil, fmt.Errorf("asym: need ≥2 GPUs, got %d", n)
+	}
+	d := &Demand{NumGPUs: n}
+	for s, b := range bytes {
+		if b < 0 {
+			return nil, fmt.Errorf("asym: negative size at %d", s)
+		}
+		if b == 0 {
+			continue
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst != s {
+				d.Pairs = append(d.Pairs, Pair{Src: s, Dst: dst, Bytes: b})
+			}
+		}
+	}
+	return d, nil
+}
+
+// TotalBytes sums the demanded payload.
+func (d *Demand) TotalBytes() float64 {
+	var t float64
+	for _, p := range d.Pairs {
+		t += p.Bytes
+	}
+	return t
+}
+
+// Validate checks the demand.
+func (d *Demand) Validate() error {
+	if d.NumGPUs < 2 {
+		return fmt.Errorf("asym: need ≥2 GPUs")
+	}
+	for i, p := range d.Pairs {
+		if p.Src < 0 || p.Src >= d.NumGPUs || p.Dst < 0 || p.Dst >= d.NumGPUs || p.Src == p.Dst {
+			return fmt.Errorf("asym: pair %d has bad endpoints %d→%d", i, p.Src, p.Dst)
+		}
+		if p.Bytes <= 0 {
+			return fmt.Errorf("asym: pair %d non-positive size", i)
+		}
+	}
+	return nil
+}
+
+// Synthesize builds a schedule for the asymmetric demand: pairs are
+// placed largest-first (longest-processing-time rule) on the least-loaded
+// feasible route — direct where a shared dimension exists, otherwise a
+// two-hop PXN relay through the sender's server-mate on the receiver's
+// rail. Port loads are tracked in seconds so heterogeneous sizes balance.
+func Synthesize(top *topology.Topology, d *Demand) (*schedule.Schedule, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if top.NumGPUs() != d.NumGPUs {
+		return nil, fmt.Errorf("asym: demand spans %d GPUs, topology %d", d.NumGPUs, top.NumGPUs())
+	}
+	g := top.Sym.Local.N
+
+	// Sort pairs by descending size (stable for determinism).
+	order := make([]int, len(d.Pairs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := d.Pairs[order[a]], d.Pairs[order[b]]
+		if pa.Bytes != pb.Bytes {
+			return pa.Bytes > pb.Bytes
+		}
+		if pa.Src != pb.Src {
+			return pa.Src < pb.Src
+		}
+		return pa.Dst < pb.Dst
+	})
+
+	// Port load in seconds per (gpu, dim, direction).
+	egress := make([][]float64, d.NumGPUs)
+	ingress := make([][]float64, d.NumGPUs)
+	for i := range egress {
+		egress[i] = make([]float64, top.NumDims())
+		ingress[i] = make([]float64, top.NumDims())
+	}
+	dimsFor := func(a, b int) []int {
+		var out []int
+		for dd := 0; dd < top.NumDims(); dd++ {
+			if top.SameGroup(dd, a, b) {
+				out = append(out, dd)
+			}
+		}
+		return out
+	}
+	// cost of placing bytes on (src→dst) over dim: resulting max port load.
+	place := func(src, dst, dim int, bytes float64) float64 {
+		t := top.Dim(dim).Beta * bytes
+		e := egress[src][dim] + t
+		in := ingress[dst][dim] + t
+		if e > in {
+			return e
+		}
+		return in
+	}
+	commit := func(src, dst, dim int, bytes float64) {
+		t := top.Dim(dim).Beta * bytes
+		egress[src][dim] += t
+		ingress[dst][dim] += t
+	}
+
+	s := &schedule.Schedule{NumGPUs: d.NumGPUs}
+	// Deterministic order hint: larger pairs first per port.
+	for seq, idx := range order {
+		p := d.Pairs[idx]
+		piece := s.AddPiece(p.Bytes)
+		if dims := dimsFor(p.Src, p.Dst); len(dims) > 0 {
+			best, bestCost := dims[0], place(p.Src, p.Dst, dims[0], p.Bytes)
+			for _, dd := range dims[1:] {
+				if c := place(p.Src, p.Dst, dd, p.Bytes); c < bestCost {
+					best, bestCost = dd, c
+				}
+			}
+			commit(p.Src, p.Dst, best, p.Bytes)
+			s.AddTransfer(schedule.Transfer{Src: p.Src, Dst: p.Dst, Piece: piece, Dim: best, Order: seq})
+			continue
+		}
+		// Two-hop relay: prefer the PXN mate; fall back to any GPU that
+		// reaches both endpoints.
+		relay := (p.Src/g)*g + p.Dst%g
+		if len(dimsFor(p.Src, relay)) == 0 || len(dimsFor(relay, p.Dst)) == 0 {
+			relay = -1
+			for r := 0; r < d.NumGPUs; r++ {
+				if r != p.Src && r != p.Dst && len(dimsFor(p.Src, r)) > 0 && len(dimsFor(r, p.Dst)) > 0 {
+					relay = r
+					break
+				}
+			}
+			if relay < 0 {
+				return nil, fmt.Errorf("asym: no route %d→%d", p.Src, p.Dst)
+			}
+		}
+		d1 := bestDim(dimsFor(p.Src, relay), func(dd int) float64 { return place(p.Src, relay, dd, p.Bytes) })
+		commit(p.Src, relay, d1, p.Bytes)
+		first := s.AddTransfer(schedule.Transfer{Src: p.Src, Dst: relay, Piece: piece, Dim: d1, Order: seq})
+		d2 := bestDim(dimsFor(relay, p.Dst), func(dd int) float64 { return place(relay, p.Dst, dd, p.Bytes) })
+		commit(relay, p.Dst, d2, p.Bytes)
+		s.AddTransfer(schedule.Transfer{Src: relay, Dst: p.Dst, Piece: piece, Dim: d2, Order: seq, Deps: []int{first}})
+	}
+	return s, nil
+}
+
+func bestDim(dims []int, cost func(int) float64) int {
+	best, bestCost := dims[0], cost(dims[0])
+	for _, dd := range dims[1:] {
+		if c := cost(dd); c < bestCost {
+			best, bestCost = dd, c
+		}
+	}
+	return best
+}
+
+// CheckDelivery verifies that a schedule delivers every pair (used by
+// tests; asymmetric demands cannot reuse schedule.Validate, which assumes
+// uniform chunk sizes).
+func CheckDelivery(d *Demand, s *schedule.Schedule) error {
+	// Count delivered bytes per (src is implicit in the piece) pair by
+	// walking transfer chains per piece.
+	type key struct {
+		piece int
+		gpu   int
+	}
+	has := map[key]bool{}
+	// Pieces are created in pair order by Synthesize; a piece belongs to
+	// pair i when piece index == i. Reconstruct conservatively: treat
+	// the first transfer of each piece as starting at the pair's source.
+	firstSrc := map[int]int{}
+	for _, t := range s.Transfers {
+		if _, ok := firstSrc[t.Piece]; !ok {
+			firstSrc[t.Piece] = t.Src
+		}
+	}
+	for _, t := range s.Transfers {
+		k := key{t.Piece, t.Src}
+		if t.Src != firstSrc[t.Piece] && !has[k] {
+			return fmt.Errorf("asym: piece %d relayed from %d before arrival", t.Piece, t.Src)
+		}
+		has[key{t.Piece, t.Dst}] = true
+	}
+	// Pair i must be delivered by some piece whose origin is Pairs[i].Src
+	// with matching size; Synthesize's 1:1 layout makes this a direct
+	// index check.
+	if len(s.Pieces) != len(d.Pairs) {
+		return fmt.Errorf("asym: %d pieces for %d pairs", len(s.Pieces), len(d.Pairs))
+	}
+	// Transfers were appended in sorted-order, so map piece→pair via
+	// sizes and endpoints.
+	for pi := range s.Pieces {
+		src := firstSrc[pi]
+		delivered := false
+		for _, pr := range d.Pairs {
+			if pr.Src == src && pr.Bytes == s.Pieces[pi].Bytes && has[key{pi, pr.Dst}] {
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			return fmt.Errorf("asym: piece %d (from %d) not delivered to any matching pair", pi, src)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package asym
+
+import (
+	"math/rand"
+	"testing"
+
+	"syccl/internal/sim"
+	"syccl/internal/topology"
+)
+
+func TestAlltoAllVConstruction(t *testing.T) {
+	bytes := [][]float64{
+		{0, 100, 0, 300},
+		{50, 0, 60, 0},
+		{0, 0, 0, 10},
+		{1, 2, 3, 0},
+	}
+	d, err := AlltoAllV(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pairs) != 8 {
+		t.Errorf("pairs = %d, want 8", len(d.Pairs))
+	}
+	if d.TotalBytes() != 526 {
+		t.Errorf("total = %g", d.TotalBytes())
+	}
+	if _, err := AlltoAllV([][]float64{{0}}); err == nil {
+		t.Error("accepted 1-GPU matrix")
+	}
+	if _, err := AlltoAllV([][]float64{{0, 1}, {1}}); err == nil {
+		t.Error("accepted ragged matrix")
+	}
+	if _, err := AlltoAllV([][]float64{{0, -1}, {1, 0}}); err == nil {
+		t.Error("accepted negative size")
+	}
+}
+
+func TestAllGatherV(t *testing.T) {
+	d, err := AllGatherV([]float64{100, 0, 300, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPUs 0, 2, 3 each broadcast to 3 peers; GPU 1 contributes nothing.
+	if len(d.Pairs) != 9 {
+		t.Errorf("pairs = %d, want 9", len(d.Pairs))
+	}
+}
+
+func TestSynthesizeOnClos(t *testing.T) {
+	top := topology.A100Clos(2)
+	rng := rand.New(rand.NewSource(9))
+	bytes := make([][]float64, 16)
+	for s := range bytes {
+		bytes[s] = make([]float64, 16)
+		for dd := range bytes[s] {
+			if s != dd && rng.Float64() < 0.6 {
+				bytes[s][dd] = float64(1+rng.Intn(64)) * 1024 * 64 // skewed sizes
+			}
+		}
+	}
+	d, err := AlltoAllV(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Synthesize(top, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDelivery(d, sched); err != nil {
+		t.Fatal(err)
+	}
+	// Clos connects every pair: no relays.
+	if len(sched.Transfers) != len(d.Pairs) {
+		t.Errorf("transfers %d, want %d direct", len(sched.Transfers), len(d.Pairs))
+	}
+	if _, err := sim.Simulate(top, sched, sim.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeRelaysOnRail(t *testing.T) {
+	top := topology.H800Rail(2)
+	bytes := make([][]float64, 16)
+	for s := range bytes {
+		bytes[s] = make([]float64, 16)
+	}
+	// One cross-rail, cross-server pair: GPU 1 (srv0 rail1) → GPU 10
+	// (srv1 rail2).
+	bytes[1][10] = 1 << 20
+	d, err := AlltoAllV(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Synthesize(top, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Transfers) != 2 {
+		t.Fatalf("transfers = %d, want 2 (PXN relay)", len(sched.Transfers))
+	}
+	// Relay must be GPU 2 (server 0, rail 2).
+	if sched.Transfers[0].Dst != 2 || sched.Transfers[1].Src != 2 {
+		t.Errorf("relay path: %+v", sched.Transfers)
+	}
+	if err := CheckDelivery(d, sched); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Simulate(top, sched, sim.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewBalancing(t *testing.T) {
+	// A hot sender with two equal receivers on a Clos fabric: the two
+	// network dims... (16-GPU Clos has one leaf dim) — check load is at
+	// least delivered and simulation time tracks the skew.
+	top := topology.A100Clos(2)
+	bytes := make([][]float64, 16)
+	for s := range bytes {
+		bytes[s] = make([]float64, 16)
+	}
+	bytes[0][8] = 256 << 20 // hot pair, cross-server
+	bytes[1][9] = 1 << 10   // tiny pair
+	d, _ := AlltoAllV(bytes)
+	sched, err := Synthesize(top, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Simulate(top, sched, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completion ≈ hot pair over per-GPU network bandwidth.
+	want := float64(256<<20) / topology.A100NetBandwidth
+	if r.Time < want*0.9 || r.Time > want*1.5 {
+		t.Errorf("time %g, want ≈%g", r.Time, want)
+	}
+}
+
+func TestCheckDeliveryCatchesLoss(t *testing.T) {
+	top := topology.A100Clos(2)
+	bytes := make([][]float64, 16)
+	for s := range bytes {
+		bytes[s] = make([]float64, 16)
+	}
+	bytes[0][1] = 100
+	bytes[2][3] = 200
+	d, _ := AlltoAllV(bytes)
+	sched, err := Synthesize(top, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Transfers = sched.Transfers[:1] // drop one delivery
+	if CheckDelivery(d, sched) == nil {
+		t.Error("accepted lost delivery")
+	}
+}

@@ -1,0 +1,224 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if KindAllGather.String() != "AllGather" {
+		t.Errorf("got %q", KindAllGather.String())
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("got %q", Kind(99).String())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for k, name := range kindNames {
+		got, err := ParseKind(name)
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus name")
+	}
+}
+
+func TestBroadcastShape(t *testing.T) {
+	c := Broadcast(8, 3, 1024)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Chunks) != 1 {
+		t.Fatalf("chunks = %d", len(c.Chunks))
+	}
+	ch := c.Chunks[0]
+	if ch.Src != 3 || len(ch.Dsts) != 7 || ch.Demands(3) {
+		t.Errorf("broadcast chunk wrong: %+v", ch)
+	}
+	if !ch.Demands(0) || !ch.Demands(7) {
+		t.Error("broadcast chunk missing destinations")
+	}
+}
+
+func TestScatterGatherInverse(t *testing.T) {
+	sc := Scatter(5, 0, 64)
+	ga := Gather(5, 0, 64)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ga.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Chunks) != 4 || len(ga.Chunks) != 4 {
+		t.Fatalf("chunk counts: %d, %d", len(sc.Chunks), len(ga.Chunks))
+	}
+	// Scatter chunk i goes root→i-th destination; Gather reverses it.
+	for i := range sc.Chunks {
+		s, g := sc.Chunks[i], ga.Chunks[i]
+		if s.Src != 0 || g.Dsts[0] != 0 {
+			t.Errorf("chunk %d: scatter src %d, gather dst %v", i, s.Src, g.Dsts)
+		}
+		if s.Dsts[0] != g.Src {
+			t.Errorf("chunk %d not inverse: %v vs %v", i, s, g)
+		}
+	}
+}
+
+func TestReduceFlag(t *testing.T) {
+	r := Reduce(4, 1, 128)
+	if !r.Reduce || r.Kind != KindReduce {
+		t.Errorf("Reduce: %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rs := ReduceScatter(4, 128)
+	if !rs.Reduce {
+		t.Error("ReduceScatter should set Reduce")
+	}
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherShape(t *testing.T) {
+	c := AllGather(4, 100)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Chunks) != 4 {
+		t.Fatalf("chunks = %d", len(c.Chunks))
+	}
+	if c.TotalBytes() != 400 {
+		t.Errorf("TotalBytes = %g", c.TotalBytes())
+	}
+	for i, ch := range c.Chunks {
+		if ch.Src != i || len(ch.Dsts) != 3 || ch.Demands(i) {
+			t.Errorf("chunk %d: %+v", i, ch)
+		}
+	}
+}
+
+func TestAlltoAllShape(t *testing.T) {
+	c := AlltoAll(4, 10)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Chunks) != 12 {
+		t.Fatalf("chunks = %d, want 12", len(c.Chunks))
+	}
+	// Every (src,dst) ordered pair appears exactly once.
+	seen := make(map[[2]int]bool)
+	for _, ch := range c.Chunks {
+		if len(ch.Dsts) != 1 {
+			t.Fatalf("chunk %d has %d dsts", ch.ID, len(ch.Dsts))
+		}
+		key := [2]int{ch.Src, ch.Dsts[0]}
+		if seen[key] {
+			t.Errorf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestReduceScatterShape(t *testing.T) {
+	c := ReduceScatter(3, 10)
+	if len(c.Chunks) != 6 {
+		t.Fatalf("chunks = %d, want 6", len(c.Chunks))
+	}
+	// Each destination receives exactly n-1 chunks.
+	per := make(map[int]int)
+	for _, ch := range c.Chunks {
+		per[ch.Dsts[0]]++
+	}
+	for d := 0; d < 3; d++ {
+		if per[d] != 2 {
+			t.Errorf("dst %d receives %d chunks, want 2", d, per[d])
+		}
+	}
+}
+
+func TestAllReducePhases(t *testing.T) {
+	rs, ag := AllReducePhases(4, 400)
+	if rs.ChunkSize != 100 || ag.ChunkSize != 100 {
+		t.Errorf("chunk sizes %g, %g, want 100", rs.ChunkSize, ag.ChunkSize)
+	}
+	if rs.Kind != KindReduceScatter || ag.Kind != KindAllGather {
+		t.Error("phase kinds wrong")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	c := SendRecv(8, 2, 5, 1e6)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Chunks[0].Src != 2 || c.Chunks[0].Dsts[0] != 5 {
+		t.Errorf("SendRecv chunk: %+v", c.Chunks[0])
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	c := AllGather(4, 100)
+	c.Chunks[1].ID = 7
+	if c.Validate() == nil {
+		t.Error("accepted non-dense chunk IDs")
+	}
+	c2 := AllGather(4, 100)
+	c2.Chunks[0].Dsts = []int{9}
+	if c2.Validate() == nil {
+		t.Error("accepted out-of-range destination")
+	}
+	c3 := AllGather(4, 0)
+	if c3.Validate() == nil {
+		t.Error("accepted zero chunk size")
+	}
+	c4 := Broadcast(4, 0, 10)
+	c4.Chunks[0].Dsts = []int{0, 1}
+	if c4.Validate() == nil {
+		t.Error("accepted self-demand without reduce")
+	}
+}
+
+// Property: for any n in 2..16, AllGather chunks cover every ordered pair
+// exactly once as (src → demanded-by).
+func TestAllGatherCoverageProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%15) + 2
+		c := AllGather(n, 8)
+		if c.Validate() != nil {
+			return false
+		}
+		count := 0
+		for _, ch := range c.Chunks {
+			count += len(ch.Dsts)
+		}
+		return count == n*(n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReduceScatter and AllGather are volume-symmetric inverses.
+func TestRSAGVolumeProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%15) + 2
+		rs := ReduceScatter(n, 4)
+		ag := AllGather(n, 4)
+		vol := func(c *Collective) int {
+			v := 0
+			for _, ch := range c.Chunks {
+				v += len(ch.Dsts)
+			}
+			return v
+		}
+		return vol(rs) == vol(ag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

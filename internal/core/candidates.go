@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"syccl/internal/collective"
+	"syccl/internal/sketch"
+	"syccl/internal/topology"
+)
+
+// buildCombinations generates the candidate sketch combinations for a
+// collective (§4.2, §4.3):
+//
+//   - every ranked sketch alone (best for latency-bound small sizes);
+//   - its replication balanced across groups (one-to-all collectives) or
+//     its all-roots expansion (all-to-all collectives);
+//   - integrated multi-flavor combinations whose chunk ratios match the
+//     per-dimension bandwidth shares (best for bandwidth-bound sizes).
+//
+// Since "it is difficult to classify chunk sizes as small or large, SyCCL
+// generates both types of combinations for all chunk sizes" — the
+// simulator-ranked evaluation picks the winner.
+func buildCombinations(top *topology.Topology, col *collective.Collective,
+	sketches []*sketch.Sketch, allToAll bool, opts Options) []*sketch.Combination {
+
+	ranked := rankSketches(top, col.ChunkSize, sketches)
+	take := opts.MaxCombos
+	if take > len(ranked) {
+		take = len(ranked)
+	}
+
+	var combos []*sketch.Combination
+	if allToAll {
+		for _, sk := range ranked[:take] {
+			combos = append(combos, sketch.ExpandAllToAll(top, sk))
+		}
+	} else {
+		for _, sk := range ranked[:take] {
+			combos = append(combos, sketch.Single(sk))
+			if rep := sketch.Replicate(top, sk, 0); len(rep.Sketches) > 1 {
+				combos = append(combos, rep)
+			}
+		}
+	}
+
+	// Integrated flavors: pick, per physical port class, the combination
+	// that loads it most (relative to its bandwidth share) and let the
+	// §4.2 step-2 allocation split the chunk across them.
+	byClass := map[int]*sketch.Combination{}
+	var classes []int
+	for _, c := range combos {
+		w := c.DimWorkload(top)
+		cw := make(map[int]float64)
+		var total float64
+		for d, v := range w {
+			cw[top.Dim(d).PortClass] += v
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		dom, domScore := -1, 0.0
+		for cl, v := range cw {
+			share := top.ClassShare(cl)
+			if share <= 0 {
+				continue
+			}
+			score := v / total / share
+			if score > domScore {
+				domScore = score
+				dom = cl
+			}
+		}
+		if dom >= 0 && byClass[dom] == nil {
+			byClass[dom] = c
+			classes = append(classes, dom)
+		}
+	}
+	if len(classes) >= 2 {
+		sort.Ints(classes)
+		flavors := make([]*sketch.Combination, 0, len(classes))
+		for _, cl := range classes {
+			flavors = append(flavors, byClass[cl])
+		}
+		if integ := sketch.Integrate(top, flavors); integ != nil {
+			combos = append(combos, integ)
+		}
+		// Pairwise integrations when more than two flavors exist.
+		if len(flavors) > 2 {
+			for i := 0; i < len(flavors); i++ {
+				for j := i + 1; j < len(flavors); j++ {
+					if integ := sketch.Integrate(top, []*sketch.Combination{flavors[i], flavors[j]}); integ != nil {
+						combos = append(combos, integ)
+					}
+				}
+			}
+		}
+	}
+
+	if len(combos) > 2*opts.MaxCombos {
+		combos = combos[:2*opts.MaxCombos]
+	}
+	return combos
+}
+
+// rankSketches orders sketches by a cheap analytic estimate of their
+// single-chunk completion time at the given chunk size: per stage, the
+// slowest sub-demand's α + β·s·(deliveries per source); stages sum.
+// Ties break on the structural descriptor for determinism.
+func rankSketches(top *topology.Topology, chunkBytes float64, sketches []*sketch.Sketch) []*sketch.Sketch {
+	type scored struct {
+		sk   *sketch.Sketch
+		est  float64
+		desc string
+	}
+	list := make([]scored, len(sketches))
+	for i, sk := range sketches {
+		list[i] = scored{sk: sk, est: estimateTime(top, chunkBytes, sk), desc: sk.Descriptor()}
+	}
+	sort.SliceStable(list, func(a, b int) bool {
+		if list[a].est != list[b].est {
+			return list[a].est < list[b].est
+		}
+		return list[a].desc < list[b].desc
+	})
+	out := make([]*sketch.Sketch, len(list))
+	for i, s := range list {
+		out[i] = s.sk
+	}
+	return out
+}
+
+func estimateTime(top *topology.Topology, chunkBytes float64, sk *sketch.Sketch) float64 {
+	var subtree map[int]int
+	if sk.Scatter {
+		subtree = sk.SubtreeSizes(top)
+	}
+	total := 0.0
+	for _, st := range sk.Stages {
+		worst := 0.0
+		for _, sd := range st {
+			dim := top.Dim(sd.Dim)
+			deliveries := float64(len(sd.Dsts))
+			if sk.Scatter {
+				deliveries = 0
+				for _, d := range sd.Dsts {
+					deliveries += float64(subtree[d])
+				}
+			}
+			perSrc := deliveries / float64(len(sd.Srcs))
+			if perSrc < 1 {
+				perSrc = 1
+			}
+			t := dim.Alpha + dim.Beta*chunkBytes*perSrc
+			if t > worst {
+				worst = t
+			}
+		}
+		total += worst
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+// Package core implements the SyCCL synthesizer: the two-phase pipeline
+// of Fig 6 that explores sketches (§4), synthesizes sub-schedules with the
+// epoch solver (§5.1), merges them into complete schedules, ranks them
+// with the α-β simulator (§5.2), and accelerates everything with two-step
+// synthesis, isomorphism caching, and parallel solving (§5.3).
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"syccl/internal/collective"
+	"syccl/internal/schedule"
+	"syccl/internal/sim"
+	"syccl/internal/sketch"
+	"syccl/internal/solve"
+)
+
+// Options configures a synthesis run. The defaults match the paper's
+// evaluation setup (§7.1): E1=3.0, E2=0.5, R1=20%, R2=8.
+type Options struct {
+	// E1 is the coarse-pass epoch knob, E2 the fine-pass one.
+	E1, E2 float64
+	// R1 is the relative-performance filter after the coarse pass: drop
+	// candidates more than R1 worse than the best.
+	R1 float64
+	// R2 caps the candidates refined in the fine pass.
+	R2 int
+	// Workers is the number of parallel sub-demand solvers (default
+	// GOMAXPROCS).
+	Workers int
+	// MaxCombos caps the candidate combinations evaluated (default 12).
+	MaxCombos int
+	// Search configures sketch exploration (pruning toggles, stage
+	// limits — the Fig 17 ablations).
+	Search sketch.SearchOptions
+	// Engine overrides the sub-demand solving engine (default auto).
+	Engine solve.Engine
+	// SolveTimeLimit bounds each exact sub-demand solve.
+	SolveTimeLimit time.Duration
+	// Seed drives randomized components.
+	Seed int64
+	// DisableTwoStep solves every candidate at E2 directly (ablation).
+	DisableTwoStep bool
+	// DisableIsomorphCache solves every sub-demand separately (§5.3
+	// ablation).
+	DisableIsomorphCache bool
+	// Sim configures the ranking simulator.
+	Sim sim.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.E1 <= 0 {
+		o.E1 = 3.0
+	}
+	if o.E2 <= 0 {
+		o.E2 = 0.5
+	}
+	if o.R1 <= 0 {
+		o.R1 = 0.20
+	}
+	if o.R2 <= 0 {
+		o.R2 = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxCombos <= 0 {
+		o.MaxCombos = 12
+	}
+	if o.Sim == (sim.Options{}) {
+		o.Sim = sim.DefaultOptions()
+	}
+	if o.SolveTimeLimit <= 0 {
+		o.SolveTimeLimit = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Phases records where synthesis time went (Fig 16b).
+type Phases struct {
+	Search  time.Duration // sketch exploration (§4.1)
+	Combine time.Duration // replication + integration (§4.2/4.3)
+	Solve1  time.Duration // coarse-pass sub-schedule synthesis
+	Solve2  time.Duration // fine-pass sub-schedule synthesis
+}
+
+// Total sums all phases.
+func (p Phases) Total() time.Duration { return p.Search + p.Combine + p.Solve1 + p.Solve2 }
+
+// Stats reports synthesis internals.
+type Stats struct {
+	Sketches    int           // sketches emitted by the search
+	Candidates  int           // combinations evaluated in the coarse pass
+	Refined     int           // combinations refined in the fine pass
+	SolverCalls int           // sub-demand solves actually executed
+	CacheHits   int           // sub-demands served by isomorphism mapping
+	MaxSolve    time.Duration // longest single sub-demand solve (Fig 17c)
+}
+
+// Result is a synthesized schedule with its predicted performance.
+type Result struct {
+	Schedule *schedule.Schedule
+	// Time is the simulator-predicted completion time in seconds.
+	Time float64
+	// Combination is the winning sketch combination (nil for mirrored
+	// or concatenated schedules where the forward combination applied).
+	Combination *sketch.Combination
+	Phases      Phases
+	Stats       Stats
+}
+
+// candidate is one sketch combination under evaluation.
+type candidate struct {
+	combo *sketch.Combination
+	sched *schedule.Schedule
+	time  float64
+}
+
+func kindForward(k collective.Kind) (forward collective.Kind, mirrored bool) {
+	switch k {
+	case collective.KindReduce:
+		return collective.KindBroadcast, true
+	case collective.KindGather:
+		return collective.KindScatter, true
+	case collective.KindReduceScatter:
+		return collective.KindAllGather, true
+	default:
+		return k, false
+	}
+}

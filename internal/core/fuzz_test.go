@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"syccl/internal/collective"
+	"syccl/internal/topology"
+)
+
+// TestPipelineFuzz sweeps random small topologies and collectives through
+// the full pipeline, asserting the synthesized schedule always validates.
+// This is the repository's strongest end-to-end invariant: whatever the
+// shape, SyCCL must never emit a schedule that fails demand satisfaction,
+// availability ordering, or dependency acyclicity.
+func TestPipelineFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	shapes := []struct{ servers, gpus int }{
+		{2, 2}, {2, 4}, {3, 2}, {4, 2}, {2, 8}, {3, 4},
+	}
+	kinds := []collective.Kind{
+		collective.KindBroadcast, collective.KindAllGather, collective.KindAlltoAll,
+		collective.KindReduce, collective.KindGather, collective.KindReduceScatter,
+		collective.KindScatter,
+	}
+	for trial := 0; trial < 12; trial++ {
+		shape := shapes[rng.Intn(len(shapes))]
+		top := topology.Build(topology.Config{
+			Name:          "fuzz",
+			Servers:       shape.servers,
+			GPUsPerServer: shape.gpus,
+			NVAlpha:       topology.NVAlpha,
+			NVBeta:        1 / topology.H800NVBandwidth,
+			NetAlpha:      topology.NetAlpha,
+			NetBeta:       1 / topology.H800NetBandwidth,
+		})
+		n := top.NumGPUs()
+		kind := kinds[rng.Intn(len(kinds))]
+		size := float64(int64(1)<<10) * float64(int64(1)<<uint(rng.Intn(12))) // 1KB..4MB per chunk-ish
+		root := rng.Intn(n)
+
+		var col *collective.Collective
+		switch kind {
+		case collective.KindBroadcast:
+			col = collective.Broadcast(n, root, size)
+		case collective.KindAllGather:
+			col = collective.AllGather(n, size)
+		case collective.KindAlltoAll:
+			col = collective.AlltoAll(n, size)
+		case collective.KindReduce:
+			col = collective.Reduce(n, root, size)
+		case collective.KindGather:
+			col = collective.Gather(n, root, size)
+		case collective.KindReduceScatter:
+			col = collective.ReduceScatter(n, size)
+		case collective.KindScatter:
+			col = collective.Scatter(n, root, size)
+		}
+
+		res, err := Synthesize(top, col, Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d (%v on %d×%d, size %g, root %d): %v",
+				trial, kind, shape.servers, shape.gpus, size, root, err)
+		}
+		if err := res.Schedule.Validate(col); err != nil {
+			t.Fatalf("trial %d (%v on %d×%d): invalid schedule: %v",
+				trial, kind, shape.servers, shape.gpus, err)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("trial %d: non-positive time", trial)
+		}
+	}
+}

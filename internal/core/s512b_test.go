@@ -1,0 +1,22 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"syccl/internal/collective"
+	"syccl/internal/topology"
+)
+
+func TestScale512Profile(t *testing.T) {
+	top := topology.H800Rail(64)
+	col := collective.AllGather(512, float64(1<<30)/512)
+	start := time.Now()
+	res, err := Synthesize(top, col, Options{MaxCombos: 2, R2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("synth %.3gs search=%v combine=%v s1=%v s2=%v calls=%d hits=%d\n",
+		time.Since(start).Seconds(), res.Phases.Search, res.Phases.Combine, res.Phases.Solve1, res.Phases.Solve2, res.Stats.SolverCalls, res.Stats.CacheHits)
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"syccl/internal/collective"
+	"syccl/internal/isomorph"
+	"syccl/internal/nccl"
+	"syccl/internal/schedule"
+	"syccl/internal/sim"
+	"syccl/internal/sketch"
+	"syccl/internal/solve"
+	"syccl/internal/topology"
+)
+
+// Synthesize produces a schedule for the collective on the topology.
+//
+// All-to-one collectives (Reduce, Gather) and ReduceScatter are
+// synthesized as the mirror of their one-to-all inverses (§4.1, §4.3);
+// AllReduce is synthesized as ReduceScatter followed by AllGather (§4.3).
+func Synthesize(top *topology.Topology, col *collective.Collective, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := col.Validate(); err != nil {
+		return nil, err
+	}
+	if col.NumGPUs != top.NumGPUs() {
+		return nil, fmt.Errorf("core: collective spans %d GPUs, topology has %d", col.NumGPUs, top.NumGPUs())
+	}
+
+	switch col.Kind {
+	case collective.KindAllReduce:
+		return synthesizeAllReduce(top, col, opts)
+	}
+
+	forwardKind, mirrored := kindForward(col.Kind)
+	forwardCol := col
+	if mirrored {
+		forwardCol = forwardCollective(col, forwardKind)
+	}
+
+	res, err := synthesizeForward(top, forwardCol, opts)
+	if err != nil {
+		return nil, err
+	}
+	if mirrored {
+		res.Schedule = mirrorSchedule(res.Schedule, forwardCol, col)
+		r, err := sim.Simulate(top, res.Schedule, opts.Sim)
+		if err != nil {
+			return nil, fmt.Errorf("core: mirrored schedule: %w", err)
+		}
+		res.Time = r.Time
+	}
+	return res, nil
+}
+
+// synthesizeForward runs the two-phase pipeline for forward (non-reduce)
+// collectives.
+func synthesizeForward(top *topology.Topology, col *collective.Collective, opts Options) (*Result, error) {
+	res := &Result{}
+	cache := newSolveCache(opts)
+
+	// Phase 1a: sketch search (§4.1).
+	t0 := time.Now()
+	var sketches []*sketch.Sketch
+	allToAll := false
+	switch col.Kind {
+	case collective.KindSendRecv:
+		// One-to-one needs no sketch machinery: the shortest route —
+		// direct if a dimension connects the pair, otherwise a PXN-style
+		// relay — is optimal under the port model.
+		sched, err := sendRecvSchedule(top, col)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Simulate(top, sched, opts.Sim)
+		if err != nil {
+			return nil, err
+		}
+		res.Schedule, res.Time = sched, r.Time
+		return res, validateForward(sched, col)
+	case collective.KindBroadcast:
+		sketches = sketch.SearchBroadcast(top, col.Root, opts.Search)
+	case collective.KindScatter:
+		sketches = sketch.SearchScatter(top, col.Root, opts.Search)
+	case collective.KindAllGather:
+		sketches = sketch.SearchBroadcast(top, 0, opts.Search)
+		allToAll = true
+	case collective.KindAlltoAll:
+		sketches = sketch.SearchScatter(top, 0, opts.Search)
+		allToAll = true
+	default:
+		return nil, fmt.Errorf("core: unsupported forward collective %v", col.Kind)
+	}
+	if len(sketches) == 0 {
+		return nil, fmt.Errorf("core: no sketches found for %v on %s", col.Kind, top.Name)
+	}
+	res.Phases.Search = time.Since(t0)
+	res.Stats.Sketches = len(sketches)
+
+	// Phase 1b: combinations (§4.2, §4.3).
+	t0 = time.Now()
+	combos := buildCombinations(top, col, sketches, allToAll, opts)
+	res.Phases.Combine = time.Since(t0)
+	res.Stats.Candidates = len(combos)
+	if len(combos) == 0 {
+		return nil, fmt.Errorf("core: no sketch combinations for %v", col.Kind)
+	}
+
+	// Phase 2a: coarse synthesis of every candidate. The coarse pass
+	// trades accuracy for speed twice over: large epochs (E1) and the
+	// greedy engine; the fine pass then runs the configured engine
+	// (exact MILP where tractable) on the surviving candidates (§5.3).
+	t0 = time.Now()
+	e1, eng1 := opts.E1, solve.EngineGreedy
+	if opts.DisableTwoStep {
+		e1, eng1 = opts.E2, opts.Engine
+	}
+	if opts.Engine != solve.EngineAuto {
+		eng1 = opts.Engine
+	}
+	cands := make([]*candidate, 0, len(combos))
+	for _, combo := range combos {
+		sched, err := realizeCombo(top, col, combo, e1, eng1, opts, cache, &res.Stats)
+		if err != nil {
+			continue // a candidate may be unrealizable; skip it
+		}
+		r, err := sim.Simulate(top, sched, opts.Sim)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, &candidate{combo: combo, sched: sched, time: r.Time})
+	}
+	// The ring family lives in the untruncated sketch space (K up to
+	// |V|−1 stages) that the stage-bounded search cannot reach; include
+	// it as an explicit candidate so deep-pipeline schedules stay in
+	// contention where they win (large sizes on ring-friendly fabrics).
+	if col.Kind == collective.KindAllGather {
+		if ring, err := nccl.AllGather(top, col); err == nil {
+			if r, err := sim.Simulate(top, ring, opts.Sim); err == nil {
+				cands = append(cands, &candidate{sched: ring, time: r.Time})
+			}
+		}
+	}
+	res.Phases.Solve1 = time.Since(t0)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: all %d candidates failed to realize", len(combos))
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].time < cands[b].time })
+
+	if opts.DisableTwoStep {
+		best := cands[0]
+		res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
+		return res, validateForward(res.Schedule, col)
+	}
+
+	// Filter: keep candidates within R1 of the best, at most R2 (§5.3).
+	keep := cands[:0:0]
+	limit := cands[0].time * (1 + opts.R1)
+	for _, c := range cands {
+		if c.time <= limit && len(keep) < opts.R2 {
+			keep = append(keep, c)
+		}
+	}
+	res.Stats.Refined = len(keep)
+
+	// Phase 2b: fine synthesis of the survivors.
+	t0 = time.Now()
+	best := keep[0]
+	bestTime := best.time
+	bestSched := best.sched
+	for _, c := range keep {
+		if c.combo == nil {
+			continue // injected fixed schedule: nothing to refine
+		}
+		sched, err := realizeCombo(top, col, c.combo, opts.E2, opts.Engine, opts, cache, &res.Stats)
+		if err != nil {
+			continue
+		}
+		r, err := sim.Simulate(top, sched, opts.Sim)
+		if err != nil {
+			continue
+		}
+		if r.Time < bestTime {
+			bestTime = r.Time
+			bestSched = sched
+			best = c
+		}
+	}
+	res.Phases.Solve2 = time.Since(t0)
+	res.Schedule, res.Time, res.Combination = bestSched, bestTime, best.combo
+	return res, validateForward(res.Schedule, col)
+}
+
+// sendRecvSchedule routes a one-to-one transfer: direct where a shared
+// dimension exists, else through the sender's server-mate on the
+// receiver's rail.
+func sendRecvSchedule(top *topology.Topology, col *collective.Collective) (*schedule.Schedule, error) {
+	src := col.Chunks[0].Src
+	dst := col.Chunks[0].Dsts[0]
+	s := &schedule.Schedule{NumGPUs: top.NumGPUs()}
+	p := s.AddPiece(col.ChunkSize, 0)
+	dimFor := func(a, b int) int {
+		for d := 0; d < top.NumDims(); d++ {
+			if top.SameGroup(d, a, b) {
+				return d
+			}
+		}
+		return -1
+	}
+	if d := dimFor(src, dst); d >= 0 {
+		s.AddTransfer(schedule.Transfer{Src: src, Dst: dst, Piece: p, Dim: d})
+		return s, nil
+	}
+	g := top.Sym.Local.N
+	relay := (src/g)*g + dst%g
+	d1, d2 := dimFor(src, relay), dimFor(relay, dst)
+	if d1 < 0 || d2 < 0 {
+		return nil, fmt.Errorf("core: no route %d→%d", src, dst)
+	}
+	first := s.AddTransfer(schedule.Transfer{Src: src, Dst: relay, Piece: p, Dim: d1})
+	s.AddTransfer(schedule.Transfer{Src: relay, Dst: dst, Piece: p, Dim: d2, Deps: []int{first}, Order: 1})
+	return s, nil
+}
+
+func validateForward(s *schedule.Schedule, col *collective.Collective) error {
+	if err := s.Validate(col); err != nil {
+		return fmt.Errorf("core: synthesized schedule invalid: %w", err)
+	}
+	return nil
+}
+
+// realizeCombo solves the combination's merged sub-demands (in parallel,
+// deduplicated by isomorphism class) and assembles the schedule.
+func realizeCombo(top *topology.Topology, col *collective.Collective, combo *sketch.Combination,
+	e float64, engine solve.Engine, opts Options, cache *solveCache, stats *Stats) (*schedule.Schedule, error) {
+
+	a, err := newAssembly(top, col, combo)
+	if err != nil {
+		return nil, err
+	}
+
+	demands := make([]*solve.Demand, len(a.keys))
+	for i, k := range a.keys {
+		demands[i] = a.cells[k].demand
+	}
+
+	solveOpts := solve.Options{
+		E:         e,
+		Engine:    engine,
+		TimeLimit: opts.SolveTimeLimit,
+		Seed:      opts.Seed,
+	}
+
+	var repOf []int
+	var mapFromRep []isomorph.Mapping
+	if opts.DisableIsomorphCache {
+		repOf = make([]int, len(demands))
+		mapFromRep = make([]isomorph.Mapping, len(demands))
+		for i, d := range demands {
+			repOf[i] = i
+			mapFromRep[i] = isomorph.Identity(d)
+		}
+	} else {
+		repOf, mapFromRep = isomorph.Classes(demands)
+	}
+
+	// Solve each class representative once, in parallel.
+	reps := make([]int, 0, len(demands))
+	for i := range demands {
+		if repOf[i] == i {
+			reps = append(reps, i)
+		}
+	}
+	solved := make([]*solve.SubSchedule, len(demands))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, opts.Workers)
+	var wg sync.WaitGroup
+	for _, i := range reps {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			sub, hit, err := cache.solve(demands[i], solveOpts)
+			dur := time.Since(start)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			solved[i] = sub
+			if hit {
+				stats.CacheHits++
+			} else {
+				stats.SolverCalls++
+				if dur > stats.MaxSolve {
+					stats.MaxSolve = dur
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	bycell := make(map[cellKey]*solve.SubSchedule, len(demands))
+	for i, k := range a.keys {
+		r := repOf[i]
+		if solved[r] == nil {
+			return nil, fmt.Errorf("core: representative demand %d unsolved", r)
+		}
+		if r == i {
+			bycell[k] = solved[i]
+			if i != r {
+				stats.CacheHits++
+			}
+		} else {
+			bycell[k] = isomorph.MapSchedule(solved[r], mapFromRep[i])
+			stats.CacheHits++
+		}
+	}
+	return a.build(bycell)
+}
+
+// solveCache deduplicates sub-demand solves across candidates and passes
+// within one synthesis run.
+type solveCache struct {
+	mu      sync.Mutex
+	entries map[string][]cacheEntry
+	disable bool
+}
+
+type cacheEntry struct {
+	demand *solve.Demand
+	sub    *solve.SubSchedule
+}
+
+func newSolveCache(opts Options) *solveCache {
+	return &solveCache{entries: map[string][]cacheEntry{}, disable: opts.DisableIsomorphCache}
+}
+
+func (c *solveCache) solve(d *solve.Demand, opts solve.Options) (*solve.SubSchedule, bool, error) {
+	if c.disable {
+		sub, err := solve.Solve(d, opts)
+		return sub, false, err
+	}
+	key := fmt.Sprintf("E%g|eng%d|%s", opts.E, int(opts.Engine), isomorph.Key(d))
+	c.mu.Lock()
+	list := c.entries[key]
+	c.mu.Unlock()
+	for _, e := range list {
+		if m := isomorph.FindFullMapping(e.demand, d); m != nil {
+			return isomorph.MapSchedule(e.sub, *m), true, nil
+		}
+	}
+	sub, err := solve.Solve(d, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	c.entries[key] = append(c.entries[key], cacheEntry{demand: d, sub: sub})
+	c.mu.Unlock()
+	return sub, false, nil
+}

@@ -1,0 +1,118 @@
+package crafted
+
+import (
+	"testing"
+
+	"syccl/internal/collective"
+	"syccl/internal/sim"
+	"syccl/internal/topology"
+)
+
+func TestHierarchicalValidates(t *testing.T) {
+	for _, top := range []*topology.Topology{topology.H800Rail(2), topology.H800Rail(8), topology.H800Small(6), topology.A100Clos(2)} {
+		col := collective.AllGather(top.NumGPUs(), 1<<20)
+		s, err := Hierarchical(top, col)
+		if err != nil {
+			t.Fatalf("%s: %v", top.Name, err)
+		}
+		if err := s.Validate(col); err != nil {
+			t.Fatalf("%s: %v", top.Name, err)
+		}
+		if _, err := sim.Simulate(top, s, sim.DefaultOptions()); err != nil {
+			t.Fatalf("%s: %v", top.Name, err)
+		}
+	}
+}
+
+func TestImprovedValidates(t *testing.T) {
+	for _, top := range []*topology.Topology{topology.H800Rail(2), topology.H800Rail(8)} {
+		col := collective.AllGather(top.NumGPUs(), 1<<20)
+		s, err := Improved(top, col)
+		if err != nil {
+			t.Fatalf("%s: %v", top.Name, err)
+		}
+		if err := s.Validate(col); err != nil {
+			t.Fatalf("%s: %v", top.Name, err)
+		}
+	}
+}
+
+func TestDirectRequiresFullConnectivity(t *testing.T) {
+	// Clos: every pair shares a dimension → direct works.
+	top := topology.A100Clos(2)
+	col := collective.AllGather(16, 1024)
+	s, err := Direct(top, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(col); err != nil {
+		t.Fatal(err)
+	}
+	// Rail-only: cross-rail pairs have no one-hop path → error.
+	rail := topology.H800Rail(2)
+	if _, err := Direct(rail, collective.AllGather(16, 1024)); err == nil {
+		t.Error("Direct should fail on rail-only fabrics")
+	}
+}
+
+// TestImprovedBeatsHierarchicalOnH800 reproduces the Fig 22 observation:
+// at large sizes the improved schedule matches the H800 3.6:1 bandwidth
+// ratio better than the conventional hierarchical split.
+func TestImprovedBeatsHierarchicalOnH800(t *testing.T) {
+	top := topology.H800Rail(8)
+	size := 1 << 30
+	col := collective.AllGather(64, float64(size)/64)
+	hs, err := Hierarchical(top, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := Improved(top, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := sim.Simulate(top, hs, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := sim.Simulate(top, is, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Time >= hr.Time {
+		t.Errorf("improved %g not faster than hierarchical %g at 1 GB", ir.Time, hr.Time)
+	}
+}
+
+func TestBestPicksPerSize(t *testing.T) {
+	top := topology.A100Clos(2)
+	// Tiny size: direct (one hop) should win over ring (15 hops).
+	small := collective.AllGather(16, 1024)
+	_, name, _, err := Best(top, small, sim.DefaultOptions(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "direct" {
+		t.Errorf("small size picked %q, want direct", name)
+	}
+	// Large size: a bandwidth schedule (ring or hierarchical) should win.
+	large := collective.AllGather(16, 64e6)
+	_, name, _, err = Best(top, large, sim.DefaultOptions(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "direct" {
+		t.Errorf("large size picked direct")
+	}
+}
+
+func TestBestExcludesImproved(t *testing.T) {
+	top := topology.H800Rail(2)
+	col := collective.AllGather(16, 1<<20)
+	_, name, _, err := Best(top, col, sim.DefaultOptions(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "improved" {
+		t.Error("improved returned despite exclusion")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"syccl/internal/collective"
+	"syccl/internal/core"
+	"syccl/internal/nccl"
+	"syccl/internal/sim"
+	"syccl/internal/teccl"
+	"syccl/internal/topology"
+	"syccl/internal/workload"
+)
+
+// Table6Row is one end-to-end training configuration.
+type Table6Row struct {
+	Config     workload.Config
+	NCCLms     float64
+	TECCLms    float64
+	SyCCLms    float64
+	VsNCCLPct  float64 // (NCCL − SyCCL)/NCCL × 100
+	VsTECCLPct float64
+}
+
+// Table6 evaluates end-to-end training iteration time for GPT3-6.7B and
+// Llama3-8B under DP16/TP16/TP32 on the A100 testbed, with schedules from
+// NCCL, TECCL, and SyCCL (§7.5). Collective times come from the shared
+// α-β simulator; compute terms are calibrated constants (DESIGN.md
+// substitution #5).
+func Table6(cfg Config) ([]Table6Row, error) {
+	cfg = cfg.withDefaults()
+	var out []Table6Row
+	for _, wc := range workload.Table6Configs() {
+		var top *topology.Topology
+		switch wc.Degree {
+		case 16:
+			top = topology.A100Clos(2)
+		case 32:
+			top = topology.A100Clos(4)
+		default:
+			return nil, fmt.Errorf("table6: unsupported degree %d", wc.Degree)
+		}
+
+		// Memoize per-collective times: DP/TP traces repeat sizes.
+		memo := func(timer workload.CollectiveTimer) workload.CollectiveTimer {
+			cache := map[string]float64{}
+			return func(col *collective.Collective) (float64, error) {
+				key := fmt.Sprintf("%v|%d|%g", col.Kind, col.NumGPUs, col.ChunkSize)
+				if v, ok := cache[key]; ok {
+					return v, nil
+				}
+				v, err := timer(col)
+				if err != nil {
+					return 0, err
+				}
+				cache[key] = v
+				return v, nil
+			}
+		}
+
+		ncclTimer := memo(func(col *collective.Collective) (float64, error) {
+			_, t, err := nccl.Schedule(top, col, sim.DefaultOptions())
+			return t, err
+		})
+		tecclTimer := memo(func(col *collective.Collective) (float64, error) {
+			res, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: cfg.TECCLBudget, Seed: cfg.Seed})
+			if err != nil {
+				return 0, err
+			}
+			return res.Time, nil
+		})
+		sycclTimer := memo(func(col *collective.Collective) (float64, error) {
+			res, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return 0, err
+			}
+			return res.Time, nil
+		})
+
+		row := Table6Row{Config: wc}
+		n, err := wc.IterationSeconds(ncclTimer)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s nccl: %w", wc.Name(), err)
+		}
+		t, err := wc.IterationSeconds(tecclTimer)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s teccl: %w", wc.Name(), err)
+		}
+		s, err := wc.IterationSeconds(sycclTimer)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s syccl: %w", wc.Name(), err)
+		}
+		row.NCCLms, row.TECCLms, row.SyCCLms = n*1e3, t*1e3, s*1e3
+		row.VsNCCLPct = (n - s) / n * 100
+		row.VsTECCLPct = (t - s) / t * 100
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatTable6 renders Table 6.
+func FormatTable6(rows []Table6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: end-to-end training iteration time (ms)\n%-20s %9s %9s %9s %9s %9s\n",
+		"Model", "NCCL", "TECCL", "SyCCL", "vs NCCL", "vs TECCL")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %9.1f %9.1f %9.1f %8.1f%% %8.1f%%\n",
+			r.Config.Name(), r.NCCLms, r.TECCLms, r.SyCCLms, r.VsNCCLPct, r.VsTECCLPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"syccl/internal/collective"
+	"syccl/internal/core"
+	"syccl/internal/crafted"
+	"syccl/internal/metrics"
+	"syccl/internal/nccl"
+	"syccl/internal/sim"
+	"syccl/internal/topology"
+)
+
+// Fig14a: AllGather busbw on 16 A100 GPUs (testbed figure).
+func Fig14a(cfg Config) (*PerfSeries, error) {
+	return perfSweep("fig14a", "AllGather on 16 A100 GPUs", topology.A100Clos(2), collective.KindAllGather, cfg, true, false)
+}
+
+// Fig14b: AllGather busbw on 32 A100 GPUs.
+func Fig14b(cfg Config) (*PerfSeries, error) {
+	return perfSweep("fig14b", "AllGather on 32 A100 GPUs", topology.A100Clos(4), collective.KindAllGather, cfg, true, false)
+}
+
+// Fig14c: ReduceScatter busbw on 16 A100 GPUs.
+func Fig14c(cfg Config) (*PerfSeries, error) {
+	return perfSweep("fig14c", "ReduceScatter on 16 A100 GPUs", topology.A100Clos(2), collective.KindReduceScatter, cfg, true, false)
+}
+
+// Fig14d: AlltoAll busbw on 16 A100 GPUs.
+func Fig14d(cfg Config) (*PerfSeries, error) {
+	return perfSweep("fig14d", "AlltoAll on 16 A100 GPUs", topology.A100Clos(2), collective.KindAlltoAll, cfg, true, false)
+}
+
+// Fig15a: AllGather busbw on 64 H800 GPUs (simulation figure).
+func Fig15a(cfg Config) (*PerfSeries, error) {
+	return perfSweep("fig15a", "AllGather on 64 H800 GPUs", topology.H800Rail(8), collective.KindAllGather, cfg, true, false)
+}
+
+// Fig15b: AllGather busbw on 512 H800 GPUs. TECCL timed out with no
+// solution in the paper and is likewise skipped here.
+func Fig15b(cfg Config) (*PerfSeries, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Sizes) > 6 {
+		// The 512-GPU sweep is expensive; sample the ladder.
+		cfg.Sizes = []float64{1 << 10, 1 << 20, 16 << 20, 256 << 20, 1 << 30, 4 << 30}
+	}
+	return perfSweep("fig15b", "AllGather on 512 H800 GPUs (TECCL timed out)", topology.H800Rail(64), collective.KindAllGather, cfg, false, false)
+}
+
+// Fig15c: AlltoAll busbw on 64 H800 GPUs.
+func Fig15c(cfg Config) (*PerfSeries, error) {
+	return perfSweep("fig15c", "AlltoAll on 64 H800 GPUs", topology.H800Rail(8), collective.KindAlltoAll, cfg, true, false)
+}
+
+// craftedSweep measures SyCCL vs NCCL vs the best hand-crafted schedule
+// (Appendix C).
+func craftedSweep(id, title string, top *topology.Topology, cfg Config, includeImproved bool) (*PerfSeries, error) {
+	cfg = cfg.withDefaults()
+	n := top.NumGPUs()
+	series := &PerfSeries{ID: id, Title: title, GPUs: n}
+	for _, size := range cfg.Sizes {
+		col := collective.AllGather(n, size/float64(n))
+		row := PerfRow{Bytes: size, TECCL: math.NaN()}
+
+		_, t, err := nccl.Schedule(top, col, sim.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		row.NCCL = metrics.BusBandwidth(col.Kind, n, size, t)
+
+		_, _, ct, err := crafted.Best(top, col, sim.DefaultOptions(), includeImproved)
+		if err != nil {
+			return nil, err
+		}
+		row.Crafted = metrics.BusBandwidth(col.Kind, n, size, ct)
+
+		start := time.Now()
+		res, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		row.SyCCLSynth = time.Since(start)
+		row.SyCCL = metrics.BusBandwidth(col.Kind, n, size, res.Time)
+		series.Rows = append(series.Rows, row)
+	}
+	return series, nil
+}
+
+// Fig21a: hand-crafted vs NCCL vs SyCCL AllGather on 16 A100 GPUs.
+func Fig21a(cfg Config) (*PerfSeries, error) {
+	return craftedSweep("fig21a", "Crafted AllGather on 16 A100 GPUs", topology.A100Clos(2), cfg, false)
+}
+
+// Fig21b: hand-crafted vs NCCL vs SyCCL AllGather on 64 H800 GPUs.
+func Fig21b(cfg Config) (*PerfSeries, error) {
+	return craftedSweep("fig21b", "Crafted AllGather on 64 H800 GPUs", topology.H800Rail(8), cfg, false)
+}
+
+// Fig22: the improved hand-crafted schedule (distilled from SyCCL's
+// winning sketch) vs NCCL vs SyCCL on 64 H800 GPUs.
+func Fig22(cfg Config) (*PerfSeries, error) {
+	return craftedSweep("fig22", "Improved crafted AllGather on 64 H800 GPUs", topology.H800Rail(8), cfg, true)
+}

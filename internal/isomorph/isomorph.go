@@ -1,0 +1,390 @@
+// Package isomorph detects isomorphic sub-demands and computes the GPU
+// mappings between them.
+//
+// SyCCL's accelerations (§5.3) rest on the observation that a sketch
+// produces many structurally identical sub-demands across isomorphic
+// groups: the solver needs to run once per isomorphism class, and the
+// solution maps to every other member through a GPU renaming. This
+// package provides the invariant fingerprint used to bucket demands, the
+// backtracking search that finds an explicit mapping, and the class
+// partition driver.
+package isomorph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"syccl/internal/solve"
+)
+
+// Key returns an isomorphism-invariant fingerprint of a demand: demands
+// with different keys are guaranteed non-isomorphic. (Equal keys are a
+// necessary, not sufficient, condition; FindMapping decides.)
+func Key(d *solve.Demand) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n%d;a%.6g;b%.6g;", d.NumGPUs, d.Alpha, d.Beta)
+	inv := make([]string, len(d.Pieces))
+	for i, p := range d.Pieces {
+		inv[i] = fmt.Sprintf("p(%.6g,%d,%d)", p.Bytes, len(p.Srcs), len(p.Dsts))
+	}
+	sort.Strings(inv)
+	sb.WriteString(strings.Join(inv, ""))
+	// GPU color multiset: per GPU, the sorted list of (piece-invariant,
+	// role) memberships.
+	colors := gpuColors(d)
+	sorted := append([]string(nil), colors...)
+	sort.Strings(sorted)
+	sb.WriteString(";g")
+	sb.WriteString(strings.Join(sorted, "|"))
+	return sb.String()
+}
+
+// gpuColors computes a per-GPU invariant color string.
+func gpuColors(d *solve.Demand) []string {
+	colors := make([][]string, d.NumGPUs)
+	for _, p := range d.Pieces {
+		inv := fmt.Sprintf("(%.6g,%d,%d)", p.Bytes, len(p.Srcs), len(p.Dsts))
+		for _, s := range p.Srcs {
+			colors[s] = append(colors[s], "s"+inv)
+		}
+		for _, t := range p.Dsts {
+			colors[t] = append(colors[t], "d"+inv)
+		}
+	}
+	out := make([]string, d.NumGPUs)
+	for g, c := range colors {
+		sort.Strings(c)
+		out[g] = strings.Join(c, ",")
+	}
+	return out
+}
+
+// maxBacktrackNodes caps the mapping search; exceeding it reports "not
+// isomorphic", which costs an extra solve but never a wrong schedule.
+const maxBacktrackNodes = 200000
+
+// FindMapping searches for a GPU permutation f with f[i] = j meaning
+// a's GPU i plays the role of b's GPU j, such that a's pieces map
+// bijectively onto b's pieces (equal sizes, f(Srcs) = Srcs, f(Dsts) =
+// Dsts as sets). Returns nil when no mapping exists (or the search
+// budget runs out).
+//
+// Small demands get an exact backtracking search. Large ones — where
+// color classes are fat and backtracking degenerates — get the cheap
+// route: the color-sorted canonical alignment plus a handful of
+// randomized color-respecting bijections, each verified in near-linear
+// time. The cheap route can miss an isomorphism (costing an extra solve,
+// never a wrong schedule), but on the highly symmetric demands SyCCL
+// produces a color-respecting bijection almost always verifies.
+func FindMapping(a, b *solve.Demand) []int {
+	if a.NumGPUs != b.NumGPUs || len(a.Pieces) != len(b.Pieces) {
+		return nil
+	}
+	if Key(a) != Key(b) {
+		return nil
+	}
+	n := a.NumGPUs
+	ca, cb := gpuColors(a), gpuColors(b)
+
+	if n*len(a.Pieces) > 128 {
+		return findMappingSampled(a, b, ca, cb)
+	}
+
+	// candidates[i] = b-GPUs with the same color as a's GPU i.
+	candidates := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if ca[i] == cb[j] {
+				candidates[i] = append(candidates[i], j)
+			}
+		}
+		if len(candidates[i]) == 0 {
+			return nil
+		}
+	}
+
+	// Assign in order of fewest candidates first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return len(candidates[order[x]]) < len(candidates[order[y]]) })
+
+	f := make([]int, n)
+	for i := range f {
+		f[i] = -1
+	}
+	used := make([]bool, n)
+	nodes := 0
+
+	// The O(pieces²) partial-consistency filter pays off on small, loosely
+	// structured demands; on large highly symmetric ones (hundreds of
+	// single-source pieces) the per-GPU colors already pin the candidates
+	// and the filter would dominate the runtime.
+	budget := maxBacktrackNodes
+
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		nodes++
+		if nodes > budget {
+			return false
+		}
+		if k == n {
+			return piecesMatch(a, b, f)
+		}
+		i := order[k]
+		for _, j := range candidates[i] {
+			if used[j] {
+				continue
+			}
+			f[i] = j
+			used[j] = true
+			if partialConsistent(a, b, f) && rec(k+1) {
+				return true
+			}
+			used[j] = false
+			f[i] = -1
+		}
+		return false
+	}
+	if rec(0) {
+		return f
+	}
+	return nil
+}
+
+// findMappingSampled tries the color-sorted canonical alignment and a
+// few randomized color-respecting bijections, verifying each with the
+// near-linear piecesMatch.
+func findMappingSampled(a, b *solve.Demand, ca, cb []string) []int {
+	n := a.NumGPUs
+	// Bucket GPUs by color on both sides.
+	byColorA := map[string][]int{}
+	byColorB := map[string][]int{}
+	for i := 0; i < n; i++ {
+		byColorA[ca[i]] = append(byColorA[ca[i]], i)
+		byColorB[cb[i]] = append(byColorB[cb[i]], i)
+	}
+	var colors []string
+	for c, as := range byColorA {
+		if len(byColorB[c]) != len(as) {
+			return nil
+		}
+		colors = append(colors, c)
+	}
+	sort.Strings(colors)
+
+	build := func(permute func(class []int) []int) []int {
+		f := make([]int, n)
+		for _, c := range colors {
+			as := byColorA[c]
+			bs := permute(append([]int(nil), byColorB[c]...))
+			for k, i := range as {
+				f[i] = bs[k]
+			}
+		}
+		return f
+	}
+
+	// Canonical: sorted-position alignment within each color class.
+	if f := build(func(class []int) []int { return class }); piecesMatch(a, b, f) {
+		return f
+	}
+	// Rotations within classes.
+	for shift := 1; shift < 8; shift++ {
+		f := build(func(class []int) []int {
+			k := shift % len(class)
+			return append(class[k:], class[:k]...)
+		})
+		if piecesMatch(a, b, f) {
+			return f
+		}
+	}
+	// Randomized color-respecting bijections.
+	rng := rand.New(rand.NewSource(int64(n)*7919 + int64(len(a.Pieces))))
+	for trial := 0; trial < 24; trial++ {
+		f := build(func(class []int) []int {
+			rng.Shuffle(len(class), func(x, y int) { class[x], class[y] = class[y], class[x] })
+			return class
+		})
+		if piecesMatch(a, b, f) {
+			return f
+		}
+	}
+	return nil
+}
+
+// partialConsistent rejects partial assignments that already break any
+// piece correspondence: for every piece of a, there must remain at least
+// one piece of b whose source/destination sets are compatible with the
+// assigned part of f.
+func partialConsistent(a, b *solve.Demand, f []int) bool {
+	for _, pa := range a.Pieces {
+		ok := false
+		for _, pb := range b.Pieces {
+			if pa.Bytes != pb.Bytes || len(pa.Srcs) != len(pb.Srcs) || len(pa.Dsts) != len(pb.Dsts) {
+				continue
+			}
+			if setCompatible(pa.Srcs, pb.Srcs, f) && setCompatible(pa.Dsts, pb.Dsts, f) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// setCompatible reports whether mapping the assigned members of sa lands
+// inside sb. Sets here are tiny (sub-demand sources/destinations), so a
+// linear membership scan beats building a map.
+func setCompatible(sa, sb []int, f []int) bool {
+	for _, i := range sa {
+		v := f[i]
+		if v < 0 {
+			continue
+		}
+		found := false
+		for _, j := range sb {
+			if j == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// pieceSig renders a piece's canonical signature, optionally under a GPU
+// mapping m.
+func pieceSig(bytes float64, srcs, dsts []int, m []int) string {
+	img := func(set []int) []int {
+		out := make([]int, len(set))
+		for k, v := range set {
+			if m != nil {
+				out[k] = m[v]
+			} else {
+				out[k] = v
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	return fmt.Sprintf("%.9g|%v|%v", bytes, img(srcs), img(dsts))
+}
+
+// pieceBijection verifies a complete GPU mapping f and, when valid,
+// returns the induced piece bijection: out[i] is the b-piece that a's
+// piece i plays under f. Pieces with identical signatures are
+// interchangeable, so any within-bucket assignment is correct. Returns
+// nil when f is not an isomorphism. Near-linear via signature bucketing.
+func pieceBijection(a, b *solve.Demand, f []int) []int {
+	if len(a.Pieces) != len(b.Pieces) {
+		return nil
+	}
+	buckets := make(map[string][]int, len(b.Pieces))
+	for j, pb := range b.Pieces {
+		k := pieceSig(pb.Bytes, pb.Srcs, pb.Dsts, nil)
+		buckets[k] = append(buckets[k], j)
+	}
+	out := make([]int, len(a.Pieces))
+	for i, pa := range a.Pieces {
+		k := pieceSig(pa.Bytes, pa.Srcs, pa.Dsts, f)
+		lst := buckets[k]
+		if len(lst) == 0 {
+			return nil
+		}
+		out[i] = lst[len(lst)-1]
+		buckets[k] = lst[:len(lst)-1]
+	}
+	return out
+}
+
+// piecesMatch reports whether f is a valid isomorphism.
+func piecesMatch(a, b *solve.Demand, f []int) bool {
+	return pieceBijection(a, b, f) != nil
+}
+
+// Mapping is a complete isomorphism between two demands: the GPU
+// permutation and the induced piece bijection. Both are needed to carry a
+// solved sub-schedule across: transfers rename endpoints via GPUs and
+// payloads via Pieces.
+type Mapping struct {
+	GPUs   []int // a-GPU → b-GPU
+	Pieces []int // a-piece index → b-piece index
+}
+
+// Identity returns the identity mapping for a demand.
+func Identity(d *solve.Demand) Mapping {
+	m := Mapping{GPUs: make([]int, d.NumGPUs), Pieces: make([]int, len(d.Pieces))}
+	for i := range m.GPUs {
+		m.GPUs[i] = i
+	}
+	for i := range m.Pieces {
+		m.Pieces[i] = i
+	}
+	return m
+}
+
+// FindFullMapping returns the complete isomorphism from a to b, or nil.
+func FindFullMapping(a, b *solve.Demand) *Mapping {
+	f := FindMapping(a, b)
+	if f == nil {
+		return nil
+	}
+	pm := pieceBijection(a, b, f)
+	if pm == nil {
+		return nil
+	}
+	return &Mapping{GPUs: f, Pieces: pm}
+}
+
+// Classes partitions demands into isomorphism classes. It returns, for
+// each demand, the index of its class representative (the first demand of
+// the class) and the full mapping from the representative to this demand
+// (identity for representatives).
+func Classes(demands []*solve.Demand) (repOf []int, mapFromRep []Mapping) {
+	repOf = make([]int, len(demands))
+	mapFromRep = make([]Mapping, len(demands))
+	byKey := make(map[string][]int) // key -> representative indices
+	for i, d := range demands {
+		k := Key(d)
+		assigned := false
+		for _, r := range byKey[k] {
+			if m := FindFullMapping(demands[r], d); m != nil {
+				repOf[i] = r
+				mapFromRep[i] = *m
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			repOf[i] = i
+			mapFromRep[i] = Identity(d)
+			byKey[k] = append(byKey[k], i)
+		}
+	}
+	return repOf, mapFromRep
+}
+
+// MapSchedule rewrites a sub-schedule solved for a representative demand
+// into one for an isomorphic demand: GPU endpoints through m.GPUs, piece
+// references through m.Pieces.
+func MapSchedule(s *solve.SubSchedule, m Mapping) *solve.SubSchedule {
+	out := &solve.SubSchedule{Epochs: s.Epochs, Tau: s.Tau, Engine: s.Engine}
+	out.Transfers = make([]solve.Transfer, len(s.Transfers))
+	for i, t := range s.Transfers {
+		t.Src = m.GPUs[t.Src]
+		t.Dst = m.GPUs[t.Dst]
+		t.Piece = m.Pieces[t.Piece]
+		out.Transfers[i] = t
+	}
+	return out
+}

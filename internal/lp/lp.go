@@ -1,0 +1,519 @@
+// Package lp implements a linear-programming solver: a two-phase primal
+// simplex over a dense tableau, with Bland's rule for anti-cycling.
+//
+// It is the foundation of the MILP solver (package milp) that SyCCL and
+// the TECCL baseline use to synthesize sub-schedules (§5.1, Appendix A).
+// Problems are stated in general form:
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx (≤|=|≥) bᵢ
+//	            lo ≤ x ≤ hi
+//
+// The solver targets the modest problem sizes produced by SyCCL's
+// symmetry decomposition (hundreds of variables); it favors clarity and
+// numerical robustness over large-scale performance.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // ≤
+	GE           // ≥
+	EQ           // =
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return "?"
+	}
+}
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is aᵀx op rhs.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	RHS   float64
+}
+
+// Status classifies a solve outcome.
+type Status int
+
+// Solve statuses.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	numVars     int
+	c           []float64
+	lo, hi      []float64
+	constraints []Constraint
+}
+
+// NewProblem creates a problem with n variables, default bounds [0, +inf)
+// and zero objective.
+func NewProblem(n int) *Problem {
+	p := &Problem{numVars: n, c: make([]float64, n), lo: make([]float64, n), hi: make([]float64, n)}
+	for i := range p.hi {
+		p.hi[i] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// SetObjective sets the coefficient of variable i in the minimized
+// objective.
+func (p *Problem) SetObjective(i int, coeff float64) { p.c[i] = coeff }
+
+// SetBounds sets lo ≤ x_i ≤ hi.
+func (p *Problem) SetBounds(i int, lo, hi float64) {
+	p.lo[i] = lo
+	p.hi[i] = hi
+}
+
+// Bounds returns the bounds of variable i.
+func (p *Problem) Bounds(i int) (lo, hi float64) { return p.lo[i], p.hi[i] }
+
+// AddConstraint appends aᵀx op rhs and returns its index. Terms with the
+// same variable are summed.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) int {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.numVars {
+			panic(fmt.Sprintf("lp: constraint references variable %d of %d", t.Var, p.numVars))
+		}
+	}
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.constraints = append(p.constraints, Constraint{Terms: cp, Op: op, RHS: rhs})
+	return len(p.constraints) - 1
+}
+
+// Clone returns a deep copy (used by branch-and-bound to tighten bounds).
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		numVars: p.numVars,
+		c:       append([]float64(nil), p.c...),
+		lo:      append([]float64(nil), p.lo...),
+		hi:      append([]float64(nil), p.hi...),
+	}
+	q.constraints = make([]Constraint, len(p.constraints))
+	for i, con := range p.constraints {
+		q.constraints[i] = Constraint{Terms: append([]Term(nil), con.Terms...), Op: con.Op, RHS: con.RHS}
+	}
+	return q
+}
+
+// Solution is a solve result.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (original space)
+	Objective float64
+	Iters     int
+}
+
+const (
+	tol      = 1e-9
+	pivotTol = 1e-9
+)
+
+// Solve runs two-phase primal simplex and returns the solution. The X and
+// Objective fields are meaningful only when Status is StatusOptimal.
+func (p *Problem) Solve() (*Solution, error) {
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve(p)
+}
+
+// tableau is the standard-form expansion of a Problem: variables shifted
+// to x' = x - lo ≥ 0, finite upper bounds turned into explicit rows,
+// slack/surplus/artificial columns appended.
+type tableau struct {
+	m, n      int         // constraint rows, structural columns (shifted vars)
+	rows      [][]float64 // m × totalCols coefficient matrix
+	rhs       []float64
+	obj       []float64 // phase-2 objective over all columns
+	objShift  float64   // constant from the lo-shift
+	basis     []int     // basic column per row
+	totalCols int
+	numArt    int
+	artStart  int
+	iters     int
+	maxIters  int
+}
+
+func newTableau(p *Problem) (*tableau, error) {
+	for i := 0; i < p.numVars; i++ {
+		if p.lo[i] > p.hi[i]+tol {
+			return nil, fmt.Errorf("lp: variable %d has empty bounds [%g,%g]", i, p.lo[i], p.hi[i])
+		}
+		if math.IsInf(p.lo[i], -1) {
+			return nil, errors.New("lp: free (lower-unbounded) variables are not supported")
+		}
+	}
+
+	// Shifted rows: substitute x = lo + x'.
+	type row struct {
+		coeffs []float64
+		op     Op
+		rhs    float64
+	}
+	var rows []row
+	for _, con := range p.constraints {
+		r := row{coeffs: make([]float64, p.numVars), op: con.Op, rhs: con.RHS}
+		for _, t := range con.Terms {
+			r.coeffs[t.Var] += t.Coeff
+			r.rhs -= t.Coeff * p.lo[t.Var]
+		}
+		rows = append(rows, r)
+	}
+	// Finite upper bounds: x' ≤ hi - lo.
+	for i := 0; i < p.numVars; i++ {
+		if !math.IsInf(p.hi[i], 1) {
+			r := row{coeffs: make([]float64, p.numVars), op: LE, rhs: p.hi[i] - p.lo[i]}
+			r.coeffs[i] = 1
+			rows = append(rows, r)
+		}
+	}
+	// Normalize to rhs ≥ 0.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			for j := range rows[i].coeffs {
+				rows[i].coeffs[j] = -rows[i].coeffs[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].op {
+			case LE:
+				rows[i].op = GE
+			case GE:
+				rows[i].op = LE
+			}
+		}
+	}
+
+	m := len(rows)
+	numSlack := 0
+	numArt := 0
+	for _, r := range rows {
+		switch r.op {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	t := &tableau{
+		m: m, n: p.numVars,
+		totalCols: p.numVars + numSlack + numArt,
+		numArt:    numArt,
+		artStart:  p.numVars + numSlack,
+		basis:     make([]int, m),
+		rhs:       make([]float64, m),
+		maxIters:  20000 + 50*(m+p.numVars),
+	}
+	t.rows = make([][]float64, m)
+	slack := p.numVars
+	art := t.artStart
+	for i, r := range rows {
+		t.rows[i] = make([]float64, t.totalCols)
+		copy(t.rows[i], r.coeffs)
+		t.rhs[i] = r.rhs
+		switch r.op {
+		case LE:
+			t.rows[i][slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			t.rows[i][slack] = -1
+			slack++
+			t.rows[i][art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			t.rows[i][art] = 1
+			t.basis[i] = art
+			art++
+		}
+	}
+
+	t.obj = make([]float64, t.totalCols)
+	for i := 0; i < p.numVars; i++ {
+		t.obj[i] = p.c[i]
+		t.objShift += p.c[i] * p.lo[i]
+	}
+	return t, nil
+}
+
+// reducedCosts returns z_j - c_j terms: cost[j] - Σ_i costB[i]·rows[i][j]
+// in the form of the current objective row.
+func (t *tableau) objectiveRow(cost []float64) []float64 {
+	row := make([]float64, t.totalCols+1)
+	copy(row, cost)
+	for i := 0; i < t.m; i++ {
+		cb := cost[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		r := t.rows[i]
+		for j := 0; j < t.totalCols; j++ {
+			row[j] -= cb * r[j]
+		}
+		row[t.totalCols] -= cb * t.rhs[i]
+	}
+	return row
+}
+
+// pivot performs a pivot on (row, col).
+func (t *tableau) pivot(row, col int, objRow []float64) {
+	pr := t.rows[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j < t.totalCols; j++ {
+		pr[j] *= inv
+	}
+	t.rhs[row] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := 0; j < t.totalCols; j++ {
+			ri[j] -= f * pr[j]
+		}
+		t.rhs[i] -= f * t.rhs[row]
+		if math.Abs(t.rhs[i]) < 1e-12 {
+			t.rhs[i] = 0
+		}
+	}
+	if f := objRow[col]; f != 0 {
+		for j := 0; j < t.totalCols; j++ {
+			objRow[j] -= f * pr[j]
+		}
+		objRow[t.totalCols] -= f * t.rhs[row]
+	}
+	t.basis[row] = col
+}
+
+// iterate runs simplex iterations on the given objective row, restricted
+// to columns < colLimit. Returns StatusOptimal or StatusUnbounded or
+// StatusIterLimit.
+func (t *tableau) iterate(objRow []float64, colLimit int) Status {
+	noProgress := 0
+	lastObj := objRow[t.totalCols]
+	for ; t.iters < t.maxIters; t.iters++ {
+		// Entering column: Dantzig (most negative reduced cost);
+		// Bland's rule after stalling to escape degenerate cycling.
+		col := -1
+		if noProgress < 40 {
+			best := -tol
+			for j := 0; j < colLimit; j++ {
+				if objRow[j] < best {
+					best = objRow[j]
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < colLimit; j++ {
+				if objRow[j] < -tol {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			return StatusOptimal
+		}
+		// Ratio test (Bland tie-break on basis index).
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][col]
+			if a > pivotTol {
+				r := t.rhs[i] / a
+				if r < bestRatio-tol || (r < bestRatio+tol && (row < 0 || t.basis[i] < t.basis[row])) {
+					bestRatio = r
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return StatusUnbounded
+		}
+		t.pivot(row, col, objRow)
+		// Minimizing drives the stored objective cell upward (it holds
+		// the negated basic contribution), so an increase is progress.
+		if objRow[t.totalCols] < lastObj+1e-12 {
+			noProgress++
+		} else {
+			noProgress = 0
+			lastObj = objRow[t.totalCols]
+		}
+	}
+	return StatusIterLimit
+}
+
+func (t *tableau) solve(p *Problem) (*Solution, error) {
+	sol := &Solution{}
+
+	// Phase 1: minimize artificial sum, if any artificials exist.
+	if t.numArt > 0 {
+		phase1 := make([]float64, t.totalCols)
+		for j := t.artStart; j < t.totalCols; j++ {
+			phase1[j] = 1
+		}
+		objRow := t.objectiveRow(phase1)
+		st := t.iterate(objRow, t.totalCols)
+		if st == StatusIterLimit {
+			sol.Status = StatusIterLimit
+			sol.Iters = t.iters
+			return sol, nil
+		}
+		// Phase-1 optimum is -objRow[last] (objectiveRow stores the
+		// negated basic contribution).
+		if -objRow[t.totalCols] > 1e-6 {
+			sol.Status = StatusInfeasible
+			sol.Iters = t.iters
+			return sol, nil
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] < t.artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artStart; j++ {
+				if math.Abs(t.rows[i][j]) > 1e-7 {
+					t.pivot(i, j, objRow)
+					pivoted = true
+					break
+				}
+			}
+			_ = pivoted // a redundant row keeps its (zero-valued) artificial
+		}
+	}
+
+	// Phase 2 on the real objective, excluding artificial columns.
+	objRow := t.objectiveRow(t.obj)
+	st := t.iterate(objRow, t.artStart)
+	sol.Iters = t.iters
+	if st != StatusOptimal {
+		sol.Status = st
+		return sol, nil
+	}
+
+	// Extract variable values, un-shifting bounds.
+	x := make([]float64, t.totalCols)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.artStart && t.rhs[i] > 1e-6 {
+			// Artificial stuck basic at nonzero value: infeasible.
+			sol.Status = StatusInfeasible
+			return sol, nil
+		}
+		x[t.basis[i]] = t.rhs[i]
+	}
+	sol.X = make([]float64, p.numVars)
+	obj := t.objShift
+	for i := 0; i < p.numVars; i++ {
+		sol.X[i] = x[i] + p.lo[i]
+		obj += p.c[i] * x[i]
+	}
+	sol.Objective = obj
+	sol.Status = StatusOptimal
+	return sol, nil
+}
+
+// Evaluate returns cᵀx for the problem's objective at the given point.
+func (p *Problem) Evaluate(x []float64) float64 {
+	var v float64
+	for i, c := range p.c {
+		v += c * x[i]
+	}
+	return v
+}
+
+// Feasible reports whether x satisfies all constraints and bounds within
+// tolerance eps.
+func (p *Problem) Feasible(x []float64, eps float64) bool {
+	if len(x) != p.numVars {
+		return false
+	}
+	for i := range x {
+		if x[i] < p.lo[i]-eps || x[i] > p.hi[i]+eps {
+			return false
+		}
+	}
+	for _, con := range p.constraints {
+		var lhs float64
+		for _, t := range con.Terms {
+			lhs += t.Coeff * x[t.Var]
+		}
+		switch con.Op {
+		case LE:
+			if lhs > con.RHS+eps {
+				return false
+			}
+		case GE:
+			if lhs < con.RHS-eps {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-con.RHS) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

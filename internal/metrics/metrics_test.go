@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"syccl/internal/collective"
+)
+
+func TestBusFactor(t *testing.T) {
+	cases := []struct {
+		kind collective.Kind
+		n    int
+		want float64
+	}{
+		{collective.KindAllGather, 8, 7.0 / 8},
+		{collective.KindReduceScatter, 16, 15.0 / 16},
+		{collective.KindAlltoAll, 4, 3.0 / 4},
+		{collective.KindAllReduce, 8, 14.0 / 8},
+		{collective.KindBroadcast, 8, 1},
+		{collective.KindAllGather, 1, 1},
+	}
+	for _, c := range cases {
+		if got := BusFactor(c.kind, c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BusFactor(%v,%d) = %g, want %g", c.kind, c.n, got, c.want)
+		}
+	}
+}
+
+func TestBusBandwidth(t *testing.T) {
+	// 1 GB AllGather on 16 GPUs in 10 ms: algbw 100 GB/s, busbw 93.75.
+	got := BusBandwidth(collective.KindAllGather, 16, 1e9, 0.01)
+	want := 1e9 / 0.01 * 15 / 16
+	if math.Abs(got-want) > 1 {
+		t.Errorf("busbw = %g, want %g", got, want)
+	}
+	if BusBandwidth(collective.KindAllGather, 16, 1e9, 0) != 0 {
+		t.Error("zero time should yield zero busbw")
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	ag := collective.AllGather(8, 100)
+	if DataBytes(ag) != 800 {
+		t.Errorf("AllGather DataBytes = %g", DataBytes(ag))
+	}
+	rs := collective.ReduceScatter(8, 100)
+	if DataBytes(rs) != 800 {
+		t.Errorf("ReduceScatter DataBytes = %g, want 800", DataBytes(rs))
+	}
+	a2a := collective.AlltoAll(4, 10)
+	if DataBytes(a2a) != 120 {
+		t.Errorf("AlltoAll DataBytes = %g, want 120", DataBytes(a2a))
+	}
+}
+
+func TestGBps(t *testing.T) {
+	if GBps(5e9) != 5 {
+		t.Errorf("GBps = %g", GBps(5e9))
+	}
+}

@@ -1,0 +1,267 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"syccl/internal/lp"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestKnapsack(t *testing.T) {
+	// max 10x0 + 13x1 + 7x2 + 4x3, weights 3,4,2,1 ≤ capacity 6, binary.
+	// Brute force: best is x1+x2 = 20 (w=6)? options: x0+x2+x3=21 (w=6).
+	values := []float64{10, 13, 7, 4}
+	weights := []float64{3, 4, 2, 1}
+	capacity := 6.0
+
+	// Brute force.
+	best := 0.0
+	for mask := 0; mask < 16; mask++ {
+		w, v := 0.0, 0.0
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				w += weights[i]
+				v += values[i]
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+
+	p := NewProblem(4)
+	terms := []lp.Term{}
+	for i := 0; i < 4; i++ {
+		p.SetBinary(i)
+		p.LP.SetObjective(i, -values[i]) // maximize
+		terms = append(terms, lp.Term{Var: i, Coeff: weights[i]})
+	}
+	p.LP.AddConstraint(terms, lp.LE, capacity)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approx(-s.Objective, best, 1e-6) {
+		t.Errorf("milp %g, brute force %g", -s.Objective, best)
+	}
+}
+
+func TestRandomKnapsacksAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(6) // 5..10 items
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var wsum float64
+		for i := range values {
+			values[i] = float64(1 + rng.Intn(50))
+			weights[i] = float64(1 + rng.Intn(20))
+			wsum += weights[i]
+		}
+		capacity := wsum * (0.3 + 0.4*rng.Float64())
+
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= capacity && v > best {
+				best = v
+			}
+		}
+
+		p := NewProblem(n)
+		terms := []lp.Term{}
+		for i := 0; i < n; i++ {
+			p.SetBinary(i)
+			p.LP.SetObjective(i, -values[i])
+			terms = append(terms, lp.Term{Var: i, Coeff: weights[i]})
+		}
+		p.LP.AddConstraint(terms, lp.LE, capacity)
+		s, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != StatusOptimal || !approx(-s.Objective, best, 1e-6) {
+			t.Errorf("trial %d (n=%d): milp %g (%v), brute force %g", trial, n, -s.Objective, s.Status, best)
+		}
+	}
+}
+
+func TestAssignmentProblem(t *testing.T) {
+	// 3×3 assignment; LP relaxation is integral but branching must still
+	// terminate with the right answer.
+	cost := [3][3]float64{{4, 2, 8}, {4, 3, 7}, {3, 1, 6}}
+	p := NewProblem(9)
+	id := func(i, j int) int { return i*3 + j }
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			p.SetBinary(id(i, j))
+			p.LP.SetObjective(id(i, j), cost[i][j])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		rowTerms, colTerms := []lp.Term{}, []lp.Term{}
+		for j := 0; j < 3; j++ {
+			rowTerms = append(rowTerms, lp.Term{Var: id(i, j), Coeff: 1})
+			colTerms = append(colTerms, lp.Term{Var: id(j, i), Coeff: 1})
+		}
+		p.LP.AddConstraint(rowTerms, lp.EQ, 1)
+		p.LP.AddConstraint(colTerms, lp.EQ, 1)
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force over 6 permutations: min = 2+4+... perms:
+	// (0,1,2):4+3+6=13 (1,0,2):2+4+6=12 (0,2,1):4+7+1=12
+	// (1,2,0):2+7+3=12 (2,0,1):8+4+1=13 (2,1,0):8+3+3=14 → 12.
+	if s.Status != StatusOptimal || !approx(s.Objective, 12, 1e-6) {
+		t.Errorf("objective %g (%v), want 12", s.Objective, s.Status)
+	}
+}
+
+func TestIntegerInfeasible(t *testing.T) {
+	// 2x = 3 with x integer: LP feasible (x=1.5), MILP infeasible.
+	p := NewProblem(1)
+	p.SetInteger(0)
+	p.LP.SetBounds(0, 0, 10)
+	p.LP.AddConstraint([]lp.Term{{Var: 0, Coeff: 2}}, lp.EQ, 3)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusInfeasible {
+		t.Errorf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min y s.t. y ≥ 1.3x, x integer ≥ 2 → x=2, y=2.6.
+	p := NewProblem(2)
+	p.SetInteger(0)
+	p.LP.SetBounds(0, 2, 10)
+	p.LP.SetObjective(1, 1)
+	p.LP.AddConstraint([]lp.Term{{Var: 1, Coeff: 1}, {Var: 0, Coeff: -1.3}}, lp.GE, 0)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal || !approx(s.Objective, 2.6, 1e-6) {
+		t.Errorf("objective %g (%v)", s.Objective, s.Status)
+	}
+	if !approx(s.X[0], 2, 1e-9) {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestIncumbentSeed(t *testing.T) {
+	// Seeded incumbent must be returned when the node limit is zero-ish.
+	p := NewProblem(2)
+	for i := 0; i < 2; i++ {
+		p.SetBinary(i)
+		p.LP.SetObjective(i, -1)
+	}
+	p.LP.AddConstraint([]lp.Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, lp.LE, 1)
+	s, err := Solve(p, Options{Incumbent: []float64{1, 0}, MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objective > -1+1e-9 {
+		t.Errorf("objective %g, incumbent lost", s.Objective)
+	}
+	if s.Status == StatusInfeasible {
+		t.Error("incumbent should guarantee feasibility")
+	}
+}
+
+func TestBadIncumbentRejected(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBinary(0)
+	if _, err := Solve(p, Options{Incumbent: []float64{0.5}}); err == nil {
+		t.Error("accepted fractional incumbent")
+	}
+	if _, err := Solve(p, Options{Incumbent: []float64{7}}); err == nil {
+		t.Error("accepted infeasible incumbent")
+	}
+}
+
+func TestTimeLimitReturnsIncumbent(t *testing.T) {
+	// A 20-item knapsack with an immediate deadline: with a seeded
+	// incumbent the solver must return it as feasible.
+	n := 20
+	p := NewProblem(n)
+	terms := []lp.Term{}
+	for i := 0; i < n; i++ {
+		p.SetBinary(i)
+		p.LP.SetObjective(i, -float64(i+1))
+		terms = append(terms, lp.Term{Var: i, Coeff: float64((i*7)%13 + 1)})
+	}
+	p.LP.AddConstraint(terms, lp.LE, 30)
+	zero := make([]float64, n)
+	fake := time.Now()
+	s, err := Solve(p, Options{
+		TimeLimit: time.Nanosecond,
+		Incumbent: zero,
+		now:       func() time.Time { fake = fake.Add(time.Second); return fake },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusFeasible {
+		t.Errorf("status %v, want feasible (deadline)", s.Status)
+	}
+	if s.Objective != 0 {
+		t.Errorf("objective %g, want incumbent 0", s.Objective)
+	}
+}
+
+func TestUnboundedDetection(t *testing.T) {
+	p := NewProblem(1)
+	p.SetInteger(0)
+	p.LP.SetObjective(0, -1) // maximize unbounded integer
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusUnbounded {
+		t.Errorf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestBoundReported(t *testing.T) {
+	p := NewProblem(2)
+	for i := 0; i < 2; i++ {
+		p.SetBinary(i)
+		p.LP.SetObjective(i, -3)
+	}
+	p.LP.AddConstraint([]lp.Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, lp.LE, 2)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusOptimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approx(s.Bound, s.Objective, 1e-9) {
+		t.Errorf("bound %g != objective %g at optimality", s.Bound, s.Objective)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOptimal.String() != "optimal" || StatusFeasible.String() != "feasible" ||
+		StatusInfeasible.String() != "infeasible" || StatusUnbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+}

@@ -1,0 +1,259 @@
+// Package mxml converts schedules to and from an MSCCL-executor-style XML
+// format, the interface the paper's schedule executor uses (§6: the
+// synthesized schedule becomes an XML with runtime parameters — transport
+// protocol and channel count — that a lightweight parser injects into
+// MSCCL-executor without touching CUDA kernels).
+//
+// The layout follows MSCCL algorithm files: one <gpu> per rank, one
+// threadblock <tb> per (peer, direction) pair holding ordered <step>
+// elements; cross-threadblock dependencies reference the delivering
+// GPU/threadblock/step triple. Execution in this repository means
+// round-tripping the XML and running the α-β simulator on the parsed
+// schedule (DESIGN.md substitution #4).
+package mxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"syccl/internal/schedule"
+	"syccl/internal/sim"
+)
+
+// Algo is the root element.
+type Algo struct {
+	XMLName   xml.Name `xml:"algo"`
+	Name      string   `xml:"name,attr"`
+	NGPUs     int      `xml:"ngpus,attr"`
+	NChunks   int      `xml:"nchunks,attr"`
+	Proto     string   `xml:"proto,attr"` // "Simple" or "LL128"
+	NChannels int      `xml:"nchannels,attr"`
+	Pieces    []Piece  `xml:"piece"`
+	GPUs      []GPU    `xml:"gpu"`
+}
+
+// Piece declares a payload unit.
+type Piece struct {
+	ID     int     `xml:"id,attr"`
+	Bytes  float64 `xml:"bytes,attr"`
+	Chunks string  `xml:"chunks,attr"` // comma-separated collective chunk IDs
+}
+
+// GPU groups the threadblocks of one rank.
+type GPU struct {
+	ID  int  `xml:"id,attr"`
+	TBs []TB `xml:"tb"`
+}
+
+// TB is a threadblock: an ordered lane of sends toward one peer.
+type TB struct {
+	ID    int    `xml:"id,attr"`
+	Peer  int    `xml:"peer,attr"`
+	Dim   int    `xml:"dim,attr"`
+	Steps []Step `xml:"step"`
+}
+
+// Step is one send. Deps lists the steps whose receives must complete
+// first, as space-separated gpu.tb.step triples (empty: none). Reduction
+// steps can carry several dependencies, one per inbound contribution.
+type Step struct {
+	S     int    `xml:"s,attr"`
+	Piece int    `xml:"piece,attr"`
+	Order int    `xml:"order,attr"`
+	Seq   int    `xml:"seq,attr"` // original transfer index: exact FIFO tie-breaks survive the round trip
+	Deps  string `xml:"deps,attr,omitempty"`
+}
+
+// Params are the runtime knobs recorded in the XML (§6).
+type Params struct {
+	Name      string
+	Proto     string // "Simple" (default) or "LL128"
+	NChannels int
+}
+
+// Marshal serializes a schedule.
+func Marshal(s *schedule.Schedule, p Params) ([]byte, error) {
+	if p.Proto == "" {
+		p.Proto = "Simple"
+	}
+	if p.NChannels <= 0 {
+		p.NChannels = 1
+	}
+	algo := Algo{
+		Name:      p.Name,
+		NGPUs:     s.NumGPUs,
+		NChunks:   len(s.Pieces),
+		Proto:     p.Proto,
+		NChannels: p.NChannels,
+	}
+	for i, piece := range s.Pieces {
+		ids := make([]string, len(piece.Chunks))
+		for k, c := range piece.Chunks {
+			ids[k] = fmt.Sprintf("%d", c)
+		}
+		algo.Pieces = append(algo.Pieces, Piece{ID: i, Bytes: piece.Bytes, Chunks: strings.Join(ids, ",")})
+	}
+
+	// Assign transfers to threadblocks: one per (src, dst, dim) lane,
+	// steps in Order.
+	type laneKey struct{ src, dst, dim int }
+	lanes := map[laneKey][]int{}
+	for i, t := range s.Transfers {
+		k := laneKey{t.Src, t.Dst, t.Dim}
+		lanes[k] = append(lanes[k], i)
+	}
+	// Locate each transfer's (gpu, tb, step) address for dependencies.
+	type addr struct{ gpu, tb, step int }
+	addrOf := make([]addr, len(s.Transfers))
+
+	gpus := make([]GPU, s.NumGPUs)
+	for g := range gpus {
+		gpus[g].ID = g
+	}
+	var keys []laneKey
+	for k := range lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].src != keys[b].src {
+			return keys[a].src < keys[b].src
+		}
+		if keys[a].dst != keys[b].dst {
+			return keys[a].dst < keys[b].dst
+		}
+		return keys[a].dim < keys[b].dim
+	})
+	for _, k := range keys {
+		idxs := lanes[k]
+		sort.SliceStable(idxs, func(a, b int) bool { return s.Transfers[idxs[a]].Order < s.Transfers[idxs[b]].Order })
+		tb := TB{ID: len(gpus[k.src].TBs), Peer: k.dst, Dim: k.dim}
+		for si, ti := range idxs {
+			addrOf[ti] = addr{k.src, tb.ID, si}
+			tb.Steps = append(tb.Steps, Step{S: si, Piece: s.Transfers[ti].Piece, Order: s.Transfers[ti].Order, Seq: ti})
+		}
+		gpus[k.src].TBs = append(gpus[k.src].TBs, tb)
+	}
+	// Second pass: dependency addresses.
+	for _, k := range keys {
+		tbIdx := findTB(gpus[k.src].TBs, k.dst, k.dim)
+		tb := &gpus[k.src].TBs[tbIdx]
+		for si, ti := range lanes[k] {
+			var parts []string
+			for _, d := range s.Transfers[ti].Deps {
+				a := addrOf[d]
+				parts = append(parts, fmt.Sprintf("%d.%d.%d", a.gpu, a.tb, a.step))
+			}
+			tb.Steps[si].Deps = strings.Join(parts, " ")
+		}
+	}
+	algo.GPUs = gpus
+	out, err := xml.MarshalIndent(algo, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+func findTB(tbs []TB, peer, dim int) int {
+	for i, tb := range tbs {
+		if tb.Peer == peer && tb.Dim == dim {
+			return i
+		}
+	}
+	return -1
+}
+
+// Parse reconstructs a schedule (plus the runtime parameters) from XML.
+// Intra-lane FIFO ordering is restored through the Order field; recorded
+// dependencies are re-attached.
+func Parse(data []byte) (*schedule.Schedule, Params, error) {
+	var algo Algo
+	if err := xml.Unmarshal(data, &algo); err != nil {
+		return nil, Params{}, fmt.Errorf("mxml: %w", err)
+	}
+	s := &schedule.Schedule{NumGPUs: algo.NGPUs}
+	for _, p := range algo.Pieces {
+		var chunks []int
+		if p.Chunks != "" {
+			for _, part := range strings.Split(p.Chunks, ",") {
+				var c int
+				if _, err := fmt.Sscanf(part, "%d", &c); err != nil {
+					return nil, Params{}, fmt.Errorf("mxml: bad chunk list %q", p.Chunks)
+				}
+				chunks = append(chunks, c)
+			}
+		}
+		s.AddPiece(p.Bytes, chunks...)
+	}
+	// First pass: collect all steps, restore the original transfer
+	// sequence via Seq (exact port-FIFO tie-breaks survive the round
+	// trip), then re-attach dependencies by address.
+	type addr struct{ gpu, tb, step int }
+	type flatStep struct {
+		at   addr
+		src  int
+		tb   TB
+		step Step
+	}
+	var flat []flatStep
+	for _, g := range algo.GPUs {
+		for _, tb := range g.TBs {
+			for _, st := range tb.Steps {
+				flat = append(flat, flatStep{addr{g.ID, tb.ID, st.S}, g.ID, tb, st})
+			}
+		}
+	}
+	sort.SliceStable(flat, func(a, b int) bool { return flat[a].step.Seq < flat[b].step.Seq })
+	idxOf := map[addr]int{}
+	for _, fs := range flat {
+		i := s.AddTransfer(schedule.Transfer{
+			Src: fs.src, Dst: fs.tb.Peer, Dim: fs.tb.Dim, Piece: fs.step.Piece, Order: fs.step.Order,
+		})
+		idxOf[fs.at] = i
+	}
+	for _, fs := range flat {
+		if fs.step.Deps == "" {
+			continue
+		}
+		for _, part := range strings.Fields(fs.step.Deps) {
+			var a addr
+			if _, err := fmt.Sscanf(part, "%d.%d.%d", &a.gpu, &a.tb, &a.step); err != nil {
+				return nil, Params{}, fmt.Errorf("mxml: bad dep %q", part)
+			}
+			di, ok := idxOf[a]
+			if !ok {
+				return nil, Params{}, fmt.Errorf("mxml: dangling dependency %+v", a)
+			}
+			i := idxOf[fs.at]
+			s.Transfers[i].Deps = append(s.Transfers[i].Deps, di)
+		}
+	}
+	return s, Params{Name: algo.Name, Proto: algo.Proto, NChannels: algo.NChannels}, nil
+}
+
+// SimOptions derives simulator options from the runtime parameters: more
+// channels pipeline more blocks; the LL128 protocol trades bandwidth for
+// latency like the real transport.
+func SimOptions(p Params) sim.Options {
+	o := sim.DefaultOptions()
+	if p.NChannels > 1 {
+		o.MaxBlocks = 8 * p.NChannels
+		o.BlockBytes = 256 * 1024
+	}
+	if p.Proto == "LL128" {
+		o.BlockBytes = 128 * 1024
+	}
+	return o
+}
+
+// Execute round-trips the XML and simulates it — the closest analogue of
+// handing the file to MSCCL-executor.
+func Execute(data []byte, topSim func(*schedule.Schedule, sim.Options) (*sim.Result, error)) (*sim.Result, error) {
+	s, params, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return topSim(s, SimOptions(params))
+}

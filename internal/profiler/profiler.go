@@ -1,0 +1,165 @@
+// Package profiler implements the network profiler component of §6: it
+// measures the α (latency) and β (1/bandwidth) parameters of each
+// topology dimension by timing SendRecv transfers across a sweep of chunk
+// sizes and fitting the Hockney model t = α + β·s by least squares.
+//
+// The paper's profiler drives real NICs and NVLinks; here the timing
+// source is the α-β simulator itself (DESIGN.md substitution #1), with
+// optional multiplicative noise so the regression is exercised the way
+// real jittery measurements would.
+package profiler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"syccl/internal/schedule"
+	"syccl/internal/sim"
+	"syccl/internal/topology"
+)
+
+// Measurement is one timed transfer.
+type Measurement struct {
+	Bytes   float64
+	Seconds float64
+}
+
+// Profile is the fitted model for one dimension.
+type Profile struct {
+	Dim   int
+	Alpha float64
+	Beta  float64
+	R2    float64 // coefficient of determination of the fit
+}
+
+// Options configures profiling.
+type Options struct {
+	// Sizes is the chunk-size sweep; nil uses 1 KiB … 64 MiB doublings.
+	Sizes []float64
+	// Noise is the relative stddev of multiplicative measurement noise
+	// (0 = exact).
+	Noise float64
+	// Repeats per size (default 3; more helps under noise).
+	Repeats int
+	// Seed for the noise generator.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Sizes) == 0 {
+		for s := 1024.0; s <= 64<<20; s *= 2 {
+			o.Sizes = append(o.Sizes, s)
+		}
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	return o
+}
+
+// MeasureDim times point-to-point transfers inside one group of the
+// dimension across the size sweep.
+func MeasureDim(top *topology.Topology, dim int, opts Options) ([]Measurement, error) {
+	opts = opts.withDefaults()
+	if dim < 0 || dim >= top.NumDims() {
+		return nil, fmt.Errorf("profiler: dimension %d out of range (topology has %d)", dim, top.NumDims())
+	}
+	d := top.Dim(dim)
+	var src, dst int
+	found := false
+	for _, grp := range d.Groups {
+		if len(grp) >= 2 {
+			src, dst = grp[0], grp[1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("profiler: dimension %d has no 2-GPU group", dim)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + int64(dim)))
+	var out []Measurement
+	for _, size := range opts.Sizes {
+		for r := 0; r < opts.Repeats; r++ {
+			s := &schedule.Schedule{NumGPUs: top.NumGPUs()}
+			p := s.AddPiece(size, 0)
+			s.AddTransfer(schedule.Transfer{Src: src, Dst: dst, Piece: p, Dim: dim})
+			res, err := sim.Simulate(top, s, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			t := res.Time
+			if opts.Noise > 0 {
+				t *= 1 + opts.Noise*rng.NormFloat64()
+				if t <= 0 {
+					t = res.Time
+				}
+			}
+			out = append(out, Measurement{Bytes: size, Seconds: t})
+		}
+	}
+	return out, nil
+}
+
+// Fit performs the least-squares regression t = α + β·s.
+func Fit(ms []Measurement) (alpha, beta, r2 float64, err error) {
+	if len(ms) < 2 {
+		return 0, 0, 0, fmt.Errorf("profiler: need ≥2 measurements, got %d", len(ms))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(ms))
+	for _, m := range ms {
+		sx += m.Bytes
+		sy += m.Seconds
+		sxx += m.Bytes * m.Bytes
+		sxy += m.Bytes * m.Seconds
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, fmt.Errorf("profiler: degenerate size sweep")
+	}
+	beta = (n*sxy - sx*sy) / den
+	alpha = (sy - beta*sx) / n
+	// R².
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for _, m := range ms {
+		pred := alpha + beta*m.Bytes
+		ssRes += (m.Seconds - pred) * (m.Seconds - pred)
+		ssTot += (m.Seconds - meanY) * (m.Seconds - meanY)
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else {
+		r2 = 1
+	}
+	return alpha, beta, r2, nil
+}
+
+// ProfileTopology measures and fits every dimension.
+func ProfileTopology(top *topology.Topology, opts Options) ([]Profile, error) {
+	out := make([]Profile, 0, top.NumDims())
+	for d := 0; d < top.NumDims(); d++ {
+		ms, err := MeasureDim(top, d, opts)
+		if err != nil {
+			return nil, err
+		}
+		a, b, r2, err := Fit(ms)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Profile{Dim: d, Alpha: a, Beta: b, R2: r2})
+	}
+	return out, nil
+}
+
+// Apply writes fitted parameters back into a topology clone, the way the
+// paper's pipeline feeds profiled values into the synthesizer.
+func Apply(top *topology.Topology, profiles []Profile) {
+	for _, p := range profiles {
+		if p.Dim >= 0 && p.Dim < top.NumDims() {
+			top.Dim(p.Dim).Alpha = p.Alpha
+			top.Dim(p.Dim).Beta = p.Beta
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"syccl/internal/topology"
+)
+
+func TestProfileRecoversParameters(t *testing.T) {
+	top := topology.H800Rail(2)
+	profiles, err := ProfileTopology(top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != top.NumDims() {
+		t.Fatalf("profiles = %d, want %d", len(profiles), top.NumDims())
+	}
+	for _, p := range profiles {
+		dim := top.Dim(p.Dim)
+		if math.Abs(p.Alpha-dim.Alpha)/dim.Alpha > 0.01 {
+			t.Errorf("dim %d alpha %g, want %g", p.Dim, p.Alpha, dim.Alpha)
+		}
+		if math.Abs(p.Beta-dim.Beta)/dim.Beta > 0.01 {
+			t.Errorf("dim %d beta %g, want %g", p.Dim, p.Beta, dim.Beta)
+		}
+		if p.R2 < 0.999 {
+			t.Errorf("dim %d fit R²=%g", p.Dim, p.R2)
+		}
+	}
+}
+
+func TestProfileUnderNoise(t *testing.T) {
+	top := topology.H800Rail(2)
+	profiles, err := ProfileTopology(top, Options{Noise: 0.05, Repeats: 9, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		dim := top.Dim(p.Dim)
+		if math.Abs(p.Beta-dim.Beta)/dim.Beta > 0.15 {
+			t.Errorf("dim %d noisy beta %g too far from %g", p.Dim, p.Beta, dim.Beta)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, _, _, err := Fit(nil); err == nil {
+		t.Error("accepted empty measurements")
+	}
+	same := []Measurement{{1024, 1e-5}, {1024, 1e-5}}
+	if _, _, _, err := Fit(same); err == nil {
+		t.Error("accepted degenerate sweep")
+	}
+}
+
+func TestApply(t *testing.T) {
+	top := topology.H800Rail(2)
+	Apply(top, []Profile{{Dim: 0, Alpha: 1e-6, Beta: 1e-11}})
+	if top.Dim(0).Alpha != 1e-6 || top.Dim(0).Beta != 1e-11 {
+		t.Error("Apply did not write parameters")
+	}
+}
+
+func TestMeasureDimRejectsSingletons(t *testing.T) {
+	top := topology.SingleServer(8)
+	if _, err := MeasureDim(top, 5, Options{}); err == nil {
+		t.Error("accepted missing dimension")
+	}
+}

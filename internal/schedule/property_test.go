@@ -1,0 +1,126 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syccl/internal/collective"
+)
+
+// randomBroadcastSchedule builds a random valid broadcast schedule: a
+// random spanning arborescence over n GPUs with dependency-correct
+// relays.
+func randomBroadcastSchedule(rng *rand.Rand, n int, bytes float64) *Schedule {
+	s := &Schedule{NumGPUs: n}
+	p := s.AddPiece(bytes, 0)
+	informed := []int{0}
+	delivered := map[int]int{}
+	perm := rng.Perm(n - 1)
+	for _, v := range perm {
+		dst := v + 1
+		src := informed[rng.Intn(len(informed))]
+		t := Transfer{Src: src, Dst: dst, Piece: p, Order: len(s.Transfers)}
+		if di, ok := delivered[src]; ok {
+			t.Deps = []int{di}
+		}
+		delivered[dst] = s.AddTransfer(t)
+		informed = append(informed, dst)
+	}
+	return s
+}
+
+// Property: random broadcast arborescences always validate, and their
+// mirror always validates as a Reduce.
+func TestRandomBroadcastAndMirrorProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%14) + 2
+		rng := rand.New(rand.NewSource(seed))
+		s := randomBroadcastSchedule(rng, n, 1000)
+		bc := collective.Broadcast(n, 0, 1000)
+		if s.Validate(bc) != nil {
+			return false
+		}
+		red := collective.Reduce(n, 0, 1000)
+		all := make([]int, len(red.Chunks))
+		for i := range all {
+			all[i] = i
+		}
+		m := s.Mirror(func(p Piece) Piece { return Piece{Chunks: all, Bytes: p.Bytes} })
+		return m.Validate(red) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mirror is an involution up to piece remapping — mirroring
+// twice restores the original transfer endpoints and dependency counts.
+func TestMirrorInvolutionProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%14) + 2
+		rng := rand.New(rand.NewSource(seed))
+		s := randomBroadcastSchedule(rng, n, 64)
+		mm := s.Mirror(nil).Mirror(nil)
+		if len(mm.Transfers) != len(s.Transfers) {
+			return false
+		}
+		for i := range s.Transfers {
+			a, b := s.Transfers[i], mm.Transfers[i]
+			if a.Src != b.Src || a.Dst != b.Dst || a.Piece != b.Piece || len(a.Deps) != len(b.Deps) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SortTransfersByOrder preserves validity and stats.
+func TestSortPreservesSemanticsProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%14) + 2
+		rng := rand.New(rand.NewSource(seed))
+		s := randomBroadcastSchedule(rng, n, 128)
+		// Scramble orders.
+		for i := range s.Transfers {
+			s.Transfers[i].Order = rng.Intn(1000)
+		}
+		before := s.ComputeStats(1)
+		bc := collective.Broadcast(n, 0, 128)
+		s.SortTransfersByOrder()
+		after := s.ComputeStats(1)
+		if s.Validate(bc) != nil {
+			return false
+		}
+		return before.Transfers == after.Transfers &&
+			before.WireBytes == after.WireBytes &&
+			before.MaxHops == after.MaxHops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Concat never loses transfers and keeps the DAG acyclic.
+func TestConcatProperty(t *testing.T) {
+	f := func(seedA, seedB int64, rawN uint8) bool {
+		n := int(rawN%14) + 2
+		a := randomBroadcastSchedule(rand.New(rand.NewSource(seedA)), n, 10)
+		b := randomBroadcastSchedule(rand.New(rand.NewSource(seedB)), n, 20)
+		out := Concat(a, b)
+		if len(out.Transfers) != len(a.Transfers)+len(b.Transfers) {
+			return false
+		}
+		if len(out.Pieces) != len(a.Pieces)+len(b.Pieces) {
+			return false
+		}
+		_, err := out.topoOrder()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

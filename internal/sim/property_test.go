@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syccl/internal/schedule"
+	"syccl/internal/topology"
+)
+
+// randomSchedule builds a random dependency-correct broadcast schedule on
+// the 8-GPU test topology.
+func randomSchedule(rng *rand.Rand, n int, bytes float64) *schedule.Schedule {
+	s := &schedule.Schedule{NumGPUs: n}
+	p := s.AddPiece(bytes, 0)
+	informed := []int{0}
+	delivered := map[int]int{}
+	for dst := 1; dst < n; dst++ {
+		src := informed[rng.Intn(len(informed))]
+		t := schedule.Transfer{Src: src, Dst: dst, Piece: p, Dim: 0, Order: dst}
+		if di, ok := delivered[src]; ok {
+			t.Deps = []int{di}
+		}
+		delivered[dst] = s.AddTransfer(t)
+		informed = append(informed, dst)
+	}
+	return s
+}
+
+// Property: completion time is monotone in payload size.
+func TestTimeMonotoneInSizeProperty(t *testing.T) {
+	top := topology.SingleServer(8)
+	f := func(seed int64, rawBytes uint16) bool {
+		bytes := float64(rawBytes) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s1 := randomSchedule(rng, 8, bytes)
+		s2 := s1.Clone()
+		s2.Pieces[0].Bytes = bytes * 2
+		r1, err1 := Simulate(top, s1, Options{})
+		r2, err2 := Simulate(top, s2, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.Time >= r1.Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: makespan never beats the critical-path lower bound
+// (dependency-chain depth × single-hop time) nor the busiest-port bound.
+func TestLowerBoundsProperty(t *testing.T) {
+	top := topology.SingleServer(8)
+	dim := top.Dim(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bytes := 1e6 * (1 + rng.Float64())
+		s := randomSchedule(rng, 8, bytes)
+		r, err := Simulate(top, s, Options{})
+		if err != nil {
+			return false
+		}
+		stats := s.ComputeStats(1)
+		chainLB := float64(stats.MaxHops) * (dim.Alpha + dim.Beta*bytes)
+		if r.Time < chainLB-1e-12 {
+			return false
+		}
+		// Port load bound: max sends per GPU × β·bytes.
+		out := map[int]int{}
+		for _, tr := range s.Transfers {
+			out[tr.Src]++
+		}
+		maxOut := 0
+		for _, v := range out {
+			if v > maxOut {
+				maxOut = v
+			}
+		}
+		loadLB := float64(maxOut) * dim.Beta * bytes
+		return r.Time >= loadLB-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: simulation is deterministic.
+func TestDeterminismProperty(t *testing.T) {
+	top := topology.SingleServer(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchedule(rng, 8, 12345)
+		r1, err1 := Simulate(top, s, DefaultOptions())
+		r2, err2 := Simulate(top, s, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Time == r2.Time && r1.Events == r2.Events
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pipelining (blocks) never increases completion time of a
+// chain beyond the unpipelined run.
+func TestPipeliningNeverHurtsChainsProperty(t *testing.T) {
+	top := topology.SingleServer(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchedule(rng, 8, 8e6)
+		plain, err1 := Simulate(top, s, Options{})
+		piped, err2 := Simulate(top, s, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Allow a per-block α overhead margin.
+		return piped.Time <= plain.Time*1.05+8*top.Dim(0).Alpha
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"syccl/internal/schedule"
+	"syccl/internal/topology"
+)
+
+// testTopo returns a 2-server × 4-GPU topology with round numbers:
+// dim 0 (nvswitch) β=1e-9 (1 GB/s), dim 1 (rail) β=4e-9 (0.25 GB/s).
+func testTopo() *topology.Topology {
+	return topology.Build(topology.Config{
+		Name:          "sim-test",
+		Servers:       2,
+		GPUsPerServer: 4,
+		NVAlpha:       1e-6,
+		NVBeta:        1e-9,
+		NetAlpha:      1e-5,
+		NetBeta:       4e-9,
+	})
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-12+1e-9*math.Abs(b) }
+
+func TestSingleTransferTime(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-6 + 1e-9*1000
+	if !approx(r.Time, want) {
+		t.Errorf("time = %g, want %g", r.Time, want)
+	}
+	if r.Events != 1 {
+		t.Errorf("events = %d", r.Events)
+	}
+}
+
+func TestSameEgressPortSerializes(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0, Order: 0})
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 2, Piece: p, Dim: 0, Order: 1})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second send starts when the port frees at β·b, finishing at
+	// 2β·b + α (α overlaps with the predecessor's transmission tail).
+	want := 2*1e-9*1000 + 1e-6
+	if !approx(r.Time, want) {
+		t.Errorf("time = %g, want %g", r.Time, want)
+	}
+}
+
+func TestDisjointPortsRunInParallel(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	s.AddTransfer(schedule.Transfer{Src: 2, Dst: 3, Piece: p, Dim: 0})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-6 + 1e-9*1000
+	if !approx(r.Time, want) {
+		t.Errorf("time = %g, want %g (parallel)", r.Time, want)
+	}
+}
+
+func TestDifferentDimsDoNotContend(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	// GPU 0 sends on dim 0 and dim 1 simultaneously (separate ports).
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 4, Piece: p, Dim: 1})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-5 + 4e-9*1000 // the slower (network) transfer
+	if !approx(r.Time, want) {
+		t.Errorf("time = %g, want %g", r.Time, want)
+	}
+}
+
+func TestDependencyChain(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	t0 := s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 2, Piece: p, Dim: 0, Deps: []int{t0}})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (1e-6 + 1e-9*1000)
+	if !approx(r.Time, want) {
+		t.Errorf("time = %g, want %g", r.Time, want)
+	}
+}
+
+func TestBlockPipeliningBeatsStoreAndForward(t *testing.T) {
+	top := testTopo()
+	build := func() *schedule.Schedule {
+		s := &schedule.Schedule{NumGPUs: 8}
+		p := s.AddPiece(4e6, 0) // 4 MB over a 3-hop chain
+		t0 := s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+		t1 := s.AddTransfer(schedule.Transfer{Src: 1, Dst: 2, Piece: p, Dim: 0, Deps: []int{t0}})
+		s.AddTransfer(schedule.Transfer{Src: 2, Dst: 3, Piece: p, Dim: 0, Deps: []int{t1}})
+		return s
+	}
+	noPipe, err := Simulate(top, build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Simulate(top, build(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Time >= noPipe.Time {
+		t.Errorf("pipelined %g not faster than store-and-forward %g", pipe.Time, noPipe.Time)
+	}
+	// Ideal pipeline: ~(h-1 extra blocks) instead of h full chunks.
+	if pipe.Time > noPipe.Time*0.6 {
+		t.Errorf("pipelining too weak: %g vs %g", pipe.Time, noPipe.Time)
+	}
+	if pipe.Events != 24 { // 3 transfers × 8 blocks
+		t.Errorf("events = %d, want 24", pipe.Events)
+	}
+}
+
+// TestFig12Overlap reproduces the §5.2 observation: stage-1 communication
+// overlaps stage 0, so the makespan is smaller than the sum of per-stage
+// durations.
+func TestFig12Overlap(t *testing.T) {
+	// 16 GPUs, 4 servers — the Fig 5 topology shape. As in Fig 12, the
+	// intra-server fan-out (5τ) is slower than the inter-server one (4τ),
+	// so stage 1 can begin before stage 0 completes.
+	top := topology.Build(topology.Config{
+		Name: "fig12", Servers: 4, GPUsPerServer: 4,
+		NVAlpha: 1e-6, NVBeta: 2e-9, NetAlpha: 1e-5, NetBeta: 1e-9,
+	})
+	s := &schedule.Schedule{NumGPUs: 16}
+	p := s.AddPiece(1e6, 0)
+	// Stage 0: 0→1,0→2,0→3 on dim 0; 0→4,0→8,0→12 on dim 1.
+	for _, d := range []int{1, 2, 3} {
+		s.AddTransfer(schedule.Transfer{Src: 0, Dst: d, Piece: p, Dim: 0})
+	}
+	interDeps := make(map[int]int)
+	for _, d := range []int{4, 8, 12} {
+		interDeps[d] = s.AddTransfer(schedule.Transfer{Src: 0, Dst: d, Piece: p, Dim: 1})
+	}
+	// Stage 1: each inter-server receiver fans out inside its server.
+	for _, root := range []int{4, 8, 12} {
+		for off := 1; off <= 3; off++ {
+			s.AddTransfer(schedule.Transfer{Src: root, Dst: root + off, Piece: p, Dim: 0, Deps: []int{interDeps[root]}})
+		}
+	}
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive stage addition: stage0 = max(intra fan-out, inter fan-out),
+	// stage1 = intra fan-out; overlap must beat it.
+	intra := 3*2e-9*1e6 + 1e-6
+	inter := 3*1e-9*1e6 + 1e-5
+	naive := math.Max(intra, inter) + intra
+	if r.Time >= naive {
+		t.Errorf("no overlap: time %g >= naive %g", r.Time, naive)
+	}
+	// But it must still exceed the critical path lower bound: first
+	// inter-server arrival + intra fan-out.
+	lower := (1e-5 + 1e-9*1e6) + intra
+	if r.Time < lower-1e-12 {
+		t.Errorf("time %g below critical path %g", r.Time, lower)
+	}
+}
+
+func TestOrderBreaksTies(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	big := s.AddPiece(1e6, 0)
+	small := s.AddPiece(1000, 0)
+	// Both depart GPU 0's dim-0 port; the small one has lower Order so it
+	// must go first and finish early.
+	bi := s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: big, Dim: 0, Order: 2})
+	si := s.AddTransfer(schedule.Transfer{Src: 0, Dst: 2, Piece: small, Dim: 0, Order: 1})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinishAt[si] >= r.FinishAt[bi] {
+		t.Errorf("small (order 1) finished at %g, after big (order 2) at %g", r.FinishAt[si], r.FinishAt[bi])
+	}
+	if !approx(r.FinishAt[si], 1e-6+1e-9*1000) {
+		t.Errorf("small transfer delayed: %g", r.FinishAt[si])
+	}
+}
+
+func TestRejectsCrossGroupTransfer(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	// GPUs 0 and 5 are in different servers and different rails: invalid
+	// in dim 0.
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 5, Piece: p, Dim: 0})
+	if _, err := Simulate(top, s, Options{}); err == nil {
+		t.Error("accepted cross-group dim-0 transfer")
+	}
+	// And invalid in dim 1 (different rails).
+	s.Transfers[0].Dim = 1
+	if _, err := Simulate(top, s, Options{}); err == nil {
+		t.Error("accepted cross-rail dim-1 transfer")
+	}
+}
+
+func TestRejectsCycle(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0, Deps: []int{1}})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 2, Piece: p, Dim: 0, Deps: []int{0}})
+	if _, err := Simulate(top, s, Options{}); err == nil {
+		t.Error("accepted cyclic schedule")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1e6, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := r.Utilization(top, 0)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %g", u)
+	}
+	if r.Utilization(top, 1) != 0 {
+		t.Errorf("idle dim shows utilization %g", r.Utilization(top, 1))
+	}
+}
+
+func TestFinishTimesSorted(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	t0 := s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 2, Piece: p, Dim: 0, Deps: []int{t0}})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := sortedFinishTimes(r)
+	if len(ts) != 2 || ts[0] > ts[1] {
+		t.Errorf("finish times %v", ts)
+	}
+	if ts[1] != r.Time {
+		t.Errorf("max finish %g != makespan %g", ts[1], r.Time)
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	top := testTopo()
+	r, err := Simulate(top, &schedule.Schedule{NumGPUs: 8}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time != 0 || r.Events != 0 {
+		t.Errorf("empty schedule: %+v", r)
+	}
+}

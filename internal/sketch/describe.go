@@ -1,0 +1,102 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"syccl/internal/topology"
+)
+
+// Describe renders the sketch in the paper's notation — per stage, the
+// sub-demands as "D<dim>.G<group>: {sources} → {destinations}" — plus the
+// per-dimension workload. Appendix C argues this readability is a feature
+// in itself: unlike raw MILP output, an expert can take the winning
+// sketch and hand-optimize its implementation.
+func (s *Sketch) Describe(top *topology.Topology) string {
+	var b strings.Builder
+	kind := "Broadcast"
+	if s.Scatter {
+		kind = "Scatter"
+	}
+	fmt.Fprintf(&b, "%s sketch rooted at GPU %d, %d stages\n", kind, s.Root, len(s.Stages))
+	for k, st := range s.Stages {
+		fmt.Fprintf(&b, "  stage %d:\n", k)
+		for _, sd := range st {
+			fmt.Fprintf(&b, "    D%d.G%-3d (%s): %s → %s\n",
+				sd.Dim, sd.Group, top.Dim(sd.Dim).Name, intSet(sd.Srcs), intSet(sd.Dsts))
+		}
+	}
+	w := s.DimWorkload(top)
+	parts := make([]string, len(w))
+	for d, v := range w {
+		parts[d] = fmt.Sprintf("%s=%g", top.Dim(d).Name, v)
+	}
+	fmt.Fprintf(&b, "  workload: %s\n", strings.Join(parts, " "))
+	return b.String()
+}
+
+// DescribeCombination summarizes a combination: the distinct sketch
+// shapes with their multiplicities and chunk fractions, then one fully
+// expanded representative per shape.
+func (c *Combination) DescribeCombination(top *topology.Topology) string {
+	type shape struct {
+		rep   *Sketch
+		count int
+		frac  float64
+	}
+	shapes := map[string]*shape{}
+	var order []string
+	for i, sk := range c.Sketches {
+		key := sk.Descriptor()
+		if sh, ok := shapes[key]; ok {
+			sh.count++
+			sh.frac += c.Fracs[i]
+		} else {
+			shapes[key] = &shape{rep: sk, count: 1, frac: c.Fracs[i]}
+			order = append(order, key)
+		}
+	}
+	sort.Strings(order)
+	var b strings.Builder
+	fmt.Fprintf(&b, "combination: %d sketches, %d distinct shapes\n", len(c.Sketches), len(shapes))
+	for _, key := range order {
+		sh := shapes[key]
+		fmt.Fprintf(&b, "— shape ×%d, total chunk fraction %.3f:\n", sh.count, sh.frac)
+		for _, line := range strings.Split(strings.TrimRight(sh.rep.Describe(top), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// intSet renders a sorted GPU set compactly, collapsing runs: {4..7,12}.
+func intSet(vals []int) string {
+	if len(vals) == 0 {
+		return "{}"
+	}
+	sorted := append([]int(nil), vals...)
+	sort.Ints(sorted)
+	var parts []string
+	start, prev := sorted[0], sorted[0]
+	flush := func() {
+		switch {
+		case start == prev:
+			parts = append(parts, fmt.Sprintf("%d", start))
+		case prev == start+1:
+			parts = append(parts, fmt.Sprintf("%d,%d", start, prev))
+		default:
+			parts = append(parts, fmt.Sprintf("%d..%d", start, prev))
+		}
+	}
+	for _, v := range sorted[1:] {
+		if v == prev+1 {
+			prev = v
+			continue
+		}
+		flush()
+		start, prev = v, v
+	}
+	flush()
+	return "{" + strings.Join(parts, ",") + "}"
+}

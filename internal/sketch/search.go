@@ -1,0 +1,416 @@
+package sketch
+
+import (
+	"sort"
+
+	"syccl/internal/topology"
+)
+
+// SearchOptions controls the enumeration-based sketch search (§4.1).
+type SearchOptions struct {
+	// MaxStages bounds K. Zero defaults to NumDims+1 for Broadcast and
+	// NumDims for Scatter (pruning #3: each dimension passed at most
+	// once on a root-to-leaf path).
+	MaxStages int
+	// MaxSketches caps the number of complete sketches returned
+	// (default 64). The search explores shallow, full-fan-out shapes
+	// first so the classic hierarchical sketches always survive the cap.
+	MaxSketches int
+	// MaxNodes caps explored search nodes (default 50000).
+	MaxNodes int
+	// DisablePrune1 turns off isomorphism deduplication (Fig 17a).
+	DisablePrune1 bool
+	// DisablePrune2 turns off the cross-group consistency requirement
+	// (Fig 17a).
+	DisablePrune2 bool
+	// FullFanoutOnly restricts each sub-demand to cover all remaining
+	// GPUs of its group (always set for Scatter, where partial coverage
+	// multiplies relayed volume).
+	FullFanoutOnly bool
+	// MaxCountChoices bounds how many distinct destination counts are
+	// tried per dimension per stage (default 3: full, half, one).
+	MaxCountChoices int
+}
+
+func (o SearchOptions) withDefaults(top *topology.Topology, scatter bool) SearchOptions {
+	if o.MaxStages <= 0 {
+		o.MaxStages = top.NumDims() + 1
+		if scatter {
+			o.MaxStages = top.NumDims()
+		}
+	}
+	if o.MaxSketches <= 0 {
+		o.MaxSketches = 64
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 50000
+	}
+	if o.MaxCountChoices <= 0 {
+		o.MaxCountChoices = 4
+	}
+	if scatter {
+		o.FullFanoutOnly = true
+	}
+	return o
+}
+
+// SearchBroadcast enumerates Broadcast sketches rooted at root.
+func SearchBroadcast(top *topology.Topology, root int, opts SearchOptions) []*Sketch {
+	return runSearch(top, root, false, opts)
+}
+
+// SearchScatter enumerates Scatter sketches rooted at root (used for
+// AlltoAll decomposition; pruning #3 bounds the relay count).
+func SearchScatter(top *topology.Topology, root int, opts SearchOptions) []*Sketch {
+	return runSearch(top, root, true, opts)
+}
+
+// dimState is one eligible dimension at a stage: the groups holding both
+// informed and uninformed GPUs, and their uninformed counts.
+type dimState struct {
+	dim            int
+	groups         []int
+	minUn, maxUn   int
+	minInf, maxInf int
+	// suggested holds structure-derived destination counts: for each
+	// lower dimension, the number of its groups represented among the
+	// uninformed GPUs ("one per remote server"-style fan-outs).
+	suggested []int
+}
+
+type searcher struct {
+	top     *topology.Topology
+	opts    SearchOptions
+	scatter bool
+	seen    map[string]bool
+	out     []*Sketch
+	nodes   int
+}
+
+func runSearch(top *topology.Topology, root int, scatter bool, opts SearchOptions) []*Sketch {
+	s := &searcher{
+		top:     top,
+		opts:    opts.withDefaults(top, scatter),
+		scatter: scatter,
+		seen:    make(map[string]bool),
+	}
+	informed := make([]bool, top.NumGPUs())
+	informed[root] = true
+	start := func() ([]bool, *Sketch) {
+		inf := append([]bool(nil), informed...)
+		return inf, &Sketch{Root: root, Scatter: scatter}
+	}
+	// Pass 1: full fan-out only. This small space contains every
+	// classic hierarchical shape (including multi-dimension stages such
+	// as Fig 5's sketch ①) and must not be crowded out of the sketch
+	// budget by deep partial-count variants.
+	if !s.opts.FullFanoutOnly {
+		saved := s.opts
+		s.opts.FullFanoutOnly = true
+		inf, sk := start()
+		s.recurse(sk, inf, top.NumGPUs()-1, 0)
+		s.opts = saved
+	}
+	// Pass 2: the general enumeration (a no-op re-walk of pass 1's
+	// shapes thanks to descriptor dedupe).
+	inf, sk := start()
+	s.recurse(sk, inf, top.NumGPUs()-1, 0)
+	return s.out
+}
+
+func (s *searcher) done() bool {
+	return len(s.out) >= s.opts.MaxSketches || s.nodes >= s.opts.MaxNodes
+}
+
+// recurse runs the three-step stage enumeration of §4.1: choose the
+// dimensions D_k, the participating groups (all groups holding both
+// informed and uninformed GPUs), and the per-group destination count.
+// Sources are all informed GPUs of a group; destinations are chosen
+// canonically (lowest index first) — replication (§4.2) later rebalances
+// the concrete choice across isomorphic alternatives.
+func (s *searcher) recurse(sk *Sketch, informed []bool, remaining, usedDims int) {
+	if remaining == 0 {
+		s.emit(sk)
+		return
+	}
+	if len(sk.Stages) >= s.opts.MaxStages || s.done() {
+		return
+	}
+	s.nodes++
+
+	// Pruning #3 (Scatter relay limit): each dimension is passed at most
+	// once along a root-to-leaf path. Raising MaxStages beyond the
+	// dimension count is the explicit opt-out the Fig 17b ablation
+	// sweeps — deeper trees with dimension reuse become searchable.
+	limitRelays := s.scatter && s.opts.MaxStages <= s.top.NumDims()
+
+	var eligible []dimState
+	for d := 0; d < s.top.NumDims(); d++ {
+		if limitRelays && usedDims&(1<<d) != 0 {
+			continue
+		}
+		dim := s.top.Dim(d)
+		ds := dimState{dim: d, minUn: 1 << 30, minInf: 1 << 30}
+		for g := range dim.Groups {
+			inf, un := 0, 0
+			for _, gpu := range dim.Groups[g] {
+				if informed[gpu] {
+					inf++
+				} else {
+					un++
+				}
+			}
+			if inf > 0 && un > 0 {
+				ds.groups = append(ds.groups, g)
+				if un < ds.minUn {
+					ds.minUn = un
+				}
+				if un > ds.maxUn {
+					ds.maxUn = un
+				}
+				if inf < ds.minInf {
+					ds.minInf = inf
+				}
+				if inf > ds.maxInf {
+					ds.maxInf = inf
+				}
+			}
+		}
+		if len(ds.groups) == 0 {
+			continue
+		}
+		// Pruning #2: participating groups must present a consistent
+		// destination/source ratio (|Vr|/|Vs| uniform, §4.1); groups in
+		// asymmetric states cannot.
+		if !s.opts.DisablePrune2 && (ds.minUn != ds.maxUn || ds.minInf != ds.maxInf) {
+			continue
+		}
+		// Structure-derived counts from the first group (consistent
+		// across groups under pruning #2): one destination per lower-dim
+		// sub-structure present among the uninformed.
+		rep := ds.groups[0]
+		for d2 := 0; d2 < s.top.NumDims(); d2++ {
+			if d2 == d {
+				continue
+			}
+			dim2 := s.top.Dim(d2)
+			seen := map[int]bool{}
+			for _, gpu := range dim.Groups[rep] {
+				if !informed[gpu] {
+					if g2 := dim2.GroupOf(gpu); g2 >= 0 {
+						seen[g2] = true
+					}
+				}
+			}
+			if c := len(seen); c >= 1 && c < ds.minUn {
+				ds.suggested = append(ds.suggested, c)
+			}
+		}
+		eligible = append(eligible, ds)
+	}
+	if len(eligible) == 0 {
+		return
+	}
+
+	// Non-empty dimension subsets, smaller first (hierarchical
+	// one-dim-per-stage sketches are explored first).
+	subsets := make([]int, 0, 1<<len(eligible)-1)
+	for m := 1; m < 1<<len(eligible); m++ {
+		subsets = append(subsets, m)
+	}
+	sort.Slice(subsets, func(a, b int) bool {
+		pa, pb := popcount(subsets[a]), popcount(subsets[b])
+		if pa != pb {
+			return pa < pb
+		}
+		return subsets[a] < subsets[b]
+	})
+
+	for _, mask := range subsets {
+		var chosen []dimState
+		for i := range eligible {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, eligible[i])
+			}
+		}
+		s.enumCounts(sk, informed, usedDims, chosen, nil)
+		if s.done() {
+			return
+		}
+	}
+}
+
+// countChoices returns the destination counts to try for a dimension,
+// largest (full fan-out) first.
+func (s *searcher) countChoices(ds dimState) []int {
+	full := ds.minUn
+	if s.opts.FullFanoutOnly || full == 1 {
+		return []int{full}
+	}
+	choices := []int{full}
+	seen := map[int]bool{full: true}
+	add := func(c int) {
+		if c >= 1 && !seen[c] {
+			choices = append(choices, c)
+			seen[c] = true
+		}
+	}
+	for _, c := range ds.suggested {
+		add(c)
+	}
+	add(full / 2)
+	add(1)
+	if len(choices) > s.opts.MaxCountChoices {
+		choices = choices[:s.opts.MaxCountChoices]
+	}
+	return choices
+}
+
+// enumCounts assigns a destination count to each chosen dimension and,
+// once all are fixed, materializes the stage and recurses.
+func (s *searcher) enumCounts(sk *Sketch, informed []bool, usedDims int, chosen []dimState, counts []int) {
+	if s.done() {
+		return
+	}
+	if len(counts) == len(chosen) {
+		s.applyStage(sk, informed, usedDims, chosen, counts)
+		return
+	}
+	for _, c := range s.countChoices(chosen[len(counts)]) {
+		s.enumCounts(sk, informed, usedDims, chosen, append(counts, c))
+		if s.done() {
+			return
+		}
+	}
+}
+
+// applyStage materializes one stage: per participating group, sources are
+// the informed members; destinations are the `count` FARTHEST uninformed
+// members — those whose cheapest connection to any informed GPU uses the
+// highest dimension — with index as tie-break. Farthest-first matters on
+// Clos fabrics: when a network group spans several servers, partial
+// fan-out should reach one GPU per remote server (which NVLink cannot
+// serve) rather than burn network bandwidth on server-mates.
+func (s *searcher) applyStage(sk *Sketch, informed []bool, usedDims int, chosen []dimState, counts []int) {
+	taken := map[int]bool{}
+	var stage Stage
+	newUsed := usedDims
+
+	// farness(g) = the smallest dimension index connecting g to an
+	// informed GPU (bigger = farther from the informed set).
+	farness := func(gpu int) int {
+		for d := 0; d < s.top.NumDims(); d++ {
+			dim := s.top.Dim(d)
+			grp := dim.GroupOf(gpu)
+			if grp < 0 {
+				continue
+			}
+			for _, other := range dim.Groups[grp] {
+				if informed[other] {
+					return d
+				}
+			}
+		}
+		return s.top.NumDims()
+	}
+
+	for ci, ds := range chosen {
+		dim := s.top.Dim(ds.dim)
+		newUsed |= 1 << ds.dim
+		for _, g := range ds.groups {
+			var srcs, candidates []int
+			for _, gpu := range dim.Groups[g] {
+				if informed[gpu] {
+					srcs = append(srcs, gpu)
+				} else if !taken[gpu] {
+					candidates = append(candidates, gpu)
+				}
+			}
+			if len(candidates) < counts[ci] {
+				return // another dimension claimed the GPUs; skip combo
+			}
+			var dsts []int
+			if counts[ci] >= len(candidates) {
+				dsts = append(dsts, candidates...)
+			} else {
+				// Greedy farthest-first with spreading: a candidate's
+				// effective distance drops once a nearby destination has
+				// been picked, so partial fan-out lands one destination
+				// per far sub-structure (e.g. one per remote server).
+				static := make(map[int]int, len(candidates))
+				for _, c := range candidates {
+					static[c] = farness(c)
+				}
+				var picked []int
+				remaining := append([]int(nil), candidates...)
+				for len(picked) < counts[ci] {
+					bestIdx, bestScore := -1, -1
+					for idx, c := range remaining {
+						score := static[c]
+						for _, p := range picked {
+							for d := 0; d < s.top.NumDims() && d < score; d++ {
+								if s.top.SameGroup(d, c, p) {
+									score = d
+									break
+								}
+							}
+						}
+						if score > bestScore || (score == bestScore && bestIdx >= 0 && c < remaining[bestIdx]) {
+							bestScore = score
+							bestIdx = idx
+						}
+					}
+					picked = append(picked, remaining[bestIdx])
+					remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+				}
+				dsts = picked
+			}
+			sort.Ints(dsts)
+			for _, d := range dsts {
+				taken[d] = true
+			}
+			stage = append(stage, SubDemand{Dim: ds.dim, Group: g, Srcs: srcs, Dsts: dsts})
+		}
+	}
+	if len(stage) == 0 {
+		return
+	}
+	newInformed := append([]bool(nil), informed...)
+	covered := 0
+	for _, sd := range stage {
+		for _, d := range sd.Dsts {
+			newInformed[d] = true
+			covered++
+		}
+	}
+	sk.Stages = append(sk.Stages, stage)
+	remaining := 0
+	for _, inf := range newInformed {
+		if !inf {
+			remaining++
+		}
+	}
+	s.recurse(sk, newInformed, remaining, newUsed)
+	sk.Stages = sk.Stages[:len(sk.Stages)-1]
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func (s *searcher) emit(sk *Sketch) {
+	key := sk.Descriptor()
+	if s.opts.DisablePrune1 {
+		key = sk.ExactDescriptor()
+	}
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.out = append(s.out, sk.Clone())
+}

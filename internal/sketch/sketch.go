@@ -1,0 +1,271 @@
+// Package sketch implements SyCCL's central concept: the decomposition of
+// a collective demand into per-group sub-demands across time stages (§3.2,
+// §4), the enumeration-based search with symmetry prunings (§4.1), the
+// replication and chunk-allocation machinery that forms sketch
+// combinations (§4.2), and the extension to all-to-all collectives (§4.3).
+package sketch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"syccl/internal/topology"
+)
+
+// SubDemand is R_{k,d,g} (Table 3): destination GPUs expect to receive
+// chunks from source GPUs, within group Group of dimension Dim.
+type SubDemand struct {
+	Dim   int
+	Group int
+	Srcs  []int // global GPU IDs holding the payload, sorted
+	Dsts  []int // global GPU IDs to be covered, sorted
+}
+
+// Stage is the set of sub-demands executing concurrently at one stage.
+type Stage []SubDemand
+
+// Sketch describes how one chunk (Broadcast) or one chunk bundle
+// (Scatter) flows from Root to all other GPUs through K stages.
+type Sketch struct {
+	Root    int
+	Scatter bool // per-destination distinct chunks (Scatter tree semantics)
+	Stages  []Stage
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	out := &Sketch{Root: s.Root, Scatter: s.Scatter, Stages: make([]Stage, len(s.Stages))}
+	for k, st := range s.Stages {
+		out.Stages[k] = make(Stage, len(st))
+		for i, sd := range st {
+			out.Stages[k][i] = SubDemand{
+				Dim:   sd.Dim,
+				Group: sd.Group,
+				Srcs:  append([]int(nil), sd.Srcs...),
+				Dsts:  append([]int(nil), sd.Dsts...),
+			}
+		}
+	}
+	return out
+}
+
+// Covered returns the set of GPUs informed by the sketch (root plus all
+// destinations).
+func (s *Sketch) Covered() map[int]bool {
+	out := map[int]bool{s.Root: true}
+	for _, st := range s.Stages {
+		for _, sd := range st {
+			for _, d := range sd.Dsts {
+				out[d] = true
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks sketch invariants against a topology: sources must be
+// informed before their stage, each GPU is a destination at most once, and
+// every sub-demand stays within its declared group.
+func (s *Sketch) Validate(top *topology.Topology) error {
+	informed := map[int]bool{s.Root: true}
+	seenDst := map[int]bool{}
+	for k, st := range s.Stages {
+		newly := map[int]bool{}
+		for _, sd := range st {
+			dim := top.Dim(sd.Dim)
+			for _, src := range sd.Srcs {
+				if !informed[src] {
+					return fmt.Errorf("sketch: stage %d: source %d not informed", k, src)
+				}
+				if dim.GroupOf(src) != sd.Group {
+					return fmt.Errorf("sketch: stage %d: source %d not in dim %d group %d", k, src, sd.Dim, sd.Group)
+				}
+			}
+			for _, dst := range sd.Dsts {
+				if informed[dst] || seenDst[dst] {
+					return fmt.Errorf("sketch: stage %d: GPU %d is a destination twice", k, dst)
+				}
+				if dim.GroupOf(dst) != sd.Group {
+					return fmt.Errorf("sketch: stage %d: destination %d not in dim %d group %d", k, dst, sd.Dim, sd.Group)
+				}
+				seenDst[dst] = true
+				newly[dst] = true
+			}
+			if len(sd.Srcs) == 0 || len(sd.Dsts) == 0 {
+				return fmt.Errorf("sketch: stage %d has empty sub-demand", k)
+			}
+		}
+		for d := range newly {
+			informed[d] = true
+		}
+	}
+	return nil
+}
+
+// Complete reports whether the sketch informs every GPU of the topology.
+func (s *Sketch) Complete(top *topology.Topology) bool {
+	return len(s.Covered()) == top.NumGPUs()
+}
+
+// ParentAssignment assigns each destination a parent source, round-robin
+// over the sub-demand's sorted sources. This canonical assignment is used
+// for Scatter subtree bookkeeping and workload estimates; the sub-schedule
+// solver remains free to schedule within each group.
+func (sd *SubDemand) ParentAssignment() map[int]int {
+	out := make(map[int]int, len(sd.Dsts))
+	for i, d := range sd.Dsts {
+		out[d] = sd.Srcs[i%len(sd.Srcs)]
+	}
+	return out
+}
+
+// SubtreeSizes returns, for every GPU, the size of its subtree (itself
+// plus all GPUs whose chunks it relays) under the canonical parent
+// assignment. For Broadcast sketches every GPU's subtree is 1 — the value
+// is only meaningful for Scatter workload accounting.
+func (s *Sketch) SubtreeSizes(top *topology.Topology) map[int]int {
+	parent := map[int]int{}
+	for _, st := range s.Stages {
+		for _, sd := range st {
+			for d, p := range sd.ParentAssignment() {
+				parent[d] = p
+			}
+		}
+	}
+	size := map[int]int{}
+	// Depth-first accumulation over the parent forest.
+	children := map[int][]int{}
+	for d, p := range parent {
+		children[p] = append(children[p], d)
+	}
+	var count func(v int) int
+	count = func(v int) int {
+		c := 1
+		for _, ch := range children[v] {
+			c += count(ch)
+		}
+		size[v] = c
+		return c
+	}
+	count(s.Root)
+	return size
+}
+
+// Workload computes w_{d,g} (§4.2): for Broadcast, the number of
+// deliveries each group carries; for Scatter, deliveries weighted by the
+// receiving GPU's subtree size (a GPU with f descendants receives f+1
+// chunks through its inbound edge).
+func (s *Sketch) Workload(top *topology.Topology) [][]float64 {
+	w := make([][]float64, top.NumDims())
+	for d := range w {
+		w[d] = make([]float64, len(top.Dim(d).Groups))
+	}
+	var subtree map[int]int
+	if s.Scatter {
+		subtree = s.SubtreeSizes(top)
+	}
+	for _, st := range s.Stages {
+		for _, sd := range st {
+			for _, dst := range sd.Dsts {
+				if s.Scatter {
+					w[sd.Dim][sd.Group] += float64(subtree[dst])
+				} else {
+					w[sd.Dim][sd.Group]++
+				}
+			}
+		}
+	}
+	return w
+}
+
+// DimWorkload sums Workload over groups per dimension.
+func (s *Sketch) DimWorkload(top *topology.Topology) []float64 {
+	w := s.Workload(top)
+	out := make([]float64, len(w))
+	for d := range w {
+		for _, v := range w[d] {
+			out[d] += v
+		}
+	}
+	return out
+}
+
+// Map applies a GPU permutation to the sketch, recomputing group indices
+// from the topology. perm must be an automorphism (group-preserving), as
+// produced by topology.Symmetry.
+func (s *Sketch) Map(top *topology.Topology, perm []int) *Sketch {
+	out := &Sketch{Root: perm[s.Root], Scatter: s.Scatter, Stages: make([]Stage, len(s.Stages))}
+	for k, st := range s.Stages {
+		out.Stages[k] = make(Stage, len(st))
+		for i, sd := range st {
+			nd := SubDemand{Dim: sd.Dim}
+			for _, v := range sd.Srcs {
+				nd.Srcs = append(nd.Srcs, perm[v])
+			}
+			for _, v := range sd.Dsts {
+				nd.Dsts = append(nd.Dsts, perm[v])
+			}
+			sort.Ints(nd.Srcs)
+			sort.Ints(nd.Dsts)
+			nd.Group = top.Dim(sd.Dim).GroupOf(nd.Srcs[0])
+			out.Stages[k][i] = nd
+		}
+	}
+	return out
+}
+
+// Descriptor returns the canonical structural key used by pruning #1:
+// sketches generated with canonical destination selection that share a
+// descriptor are isomorphic under the topology's symmetry.
+func (s *Sketch) Descriptor() string {
+	var sb strings.Builder
+	if s.Scatter {
+		sb.WriteString("S|")
+	} else {
+		sb.WriteString("B|")
+	}
+	for k, st := range s.Stages {
+		parts := make([]string, len(st))
+		for i, sd := range st {
+			parts[i] = fmt.Sprintf("d%d:s%d:r%d", sd.Dim, len(sd.Srcs), len(sd.Dsts))
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&sb, "k%d[%s]", k, strings.Join(parts, ","))
+	}
+	return sb.String()
+}
+
+// ExactDescriptor includes the concrete GPU sets; used when pruning #1 is
+// disabled so only literally identical sketches collapse.
+func (s *Sketch) ExactDescriptor() string {
+	var sb strings.Builder
+	sb.WriteString(s.Descriptor())
+	for _, st := range s.Stages {
+		for _, sd := range st {
+			fmt.Fprintf(&sb, "|%v>%v", sd.Srcs, sd.Dsts)
+		}
+	}
+	return sb.String()
+}
+
+// String renders the sketch compactly for logs and debugging.
+func (s *Sketch) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sketch(root=%d", s.Root)
+	if s.Scatter {
+		sb.WriteString(",scatter")
+	}
+	sb.WriteString(")")
+	for k, st := range s.Stages {
+		fmt.Fprintf(&sb, " stage%d{", k)
+		for i, sd := range st {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "D%d.G%d:%v→%v", sd.Dim, sd.Group, sd.Srcs, sd.Dsts)
+		}
+		sb.WriteString("}")
+	}
+	return sb.String()
+}

@@ -1,0 +1,271 @@
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"syccl/internal/lp"
+	"syccl/internal/milp"
+)
+
+// errTooLarge signals that the time-expanded MILP would exceed the size
+// budget; callers fall back to the greedy engine.
+var errTooLarge = errors.New("solve: MILP instance exceeds size budget")
+
+// exactSolve finds the minimum-epoch schedule by solving fixed-horizon
+// feasibility MILPs for growing horizons T, starting at the lower bound
+// (Appendix A.1: "the minimum number of epochs required to satisfy the
+// sub-demand"). The greedy schedule provides both the incumbent for each
+// MILP and the upper bound on T.
+func exactSolve(d *Demand, tau float64, maxBinaries int, budget time.Duration) (*SubSchedule, error) {
+	// Size gate BEFORE any expensive work: the time-expanded variable
+	// count at the smallest useful horizon already tells us whether the
+	// instance is tractable.
+	lb := lowerBoundEpochs(d, tau)
+	estVars := 0
+	for range d.Pieces {
+		estVars += d.NumGPUs * (d.NumGPUs - 1)
+	}
+	if estVars > maxBinaries || estVars*lb > 8*maxBinaries {
+		return nil, errTooLarge
+	}
+
+	greedy := greedySolve(d, tau, nil)
+	if greedy.Epochs <= lb {
+		// Greedy already optimal.
+		g := *greedy
+		g.Engine = "exact"
+		return &g, nil
+	}
+
+	deadline := time.Now().Add(budget)
+	best := greedy
+	for T := lb; T < greedy.Epochs; T++ {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		sched, err := solveHorizon(d, tau, T, maxBinaries, remain)
+		if err == errTooLarge {
+			return nil, err
+		}
+		if err != nil {
+			return nil, err
+		}
+		if sched != nil {
+			best = sched
+			break
+		}
+	}
+	out := *best
+	out.Engine = "exact"
+	return &out, nil
+}
+
+// solveHorizon builds and solves the fixed-horizon MILP. It returns nil
+// (no error) when the horizon is infeasible or unproven within the time
+// limit.
+func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Duration) (*SubSchedule, error) {
+	n := d.NumGPUs
+	type key struct{ p, i, j, t int }
+	varOf := make(map[key]int)
+	var keys []key
+
+	eps := make([]epochParams, len(d.Pieces))
+	for pi, p := range d.Pieces {
+		eps[pi] = paramsFor(d, tau, p.Bytes)
+		last := T - eps[pi].lat
+		init := make([]bool, n)
+		for _, s := range p.Srcs {
+			init[s] = true
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || init[j] {
+					continue
+				}
+				for t := 0; t <= last; t++ {
+					k := key{pi, i, j, t}
+					varOf[k] = len(keys)
+					keys = append(keys, k)
+				}
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return &SubSchedule{Tau: tau, Epochs: 0, Engine: "exact"}, nil
+	}
+	if len(keys) > maxBinaries {
+		return nil, errTooLarge
+	}
+
+	prob := milp.NewProblem(len(keys))
+	for v := range keys {
+		prob.SetBinary(v)
+		// Minimize total sends with a slight early-start preference.
+		prob.LP.SetObjective(v, 1+float64(keys[v].t)*0.001/float64(T+1))
+	}
+
+	// Delivery: each needed (piece, dst) receives exactly once; every
+	// other GPU at most once (no duplicate arrivals).
+	for pi, p := range d.Pieces {
+		need := make([]bool, n)
+		for _, t := range p.Dsts {
+			need[t] = true
+		}
+		init := make([]bool, n)
+		for _, s := range p.Srcs {
+			init[s] = true
+		}
+		for j := 0; j < n; j++ {
+			if init[j] {
+				continue
+			}
+			var terms []lp.Term
+			for i := 0; i < n; i++ {
+				if i == j {
+					continue
+				}
+				for t := 0; t <= T-eps[pi].lat; t++ {
+					if v, ok := varOf[key{pi, i, j, t}]; ok {
+						terms = append(terms, lp.Term{Var: v, Coeff: 1})
+					}
+				}
+			}
+			if len(terms) == 0 {
+				if need[j] {
+					return nil, nil // horizon too short to deliver at all
+				}
+				continue
+			}
+			if need[j] {
+				prob.LP.AddConstraint(terms, lp.EQ, 1)
+			} else {
+				prob.LP.AddConstraint(terms, lp.LE, 1)
+			}
+		}
+	}
+
+	// Availability: a non-initial holder i may send piece p at epoch t
+	// only after an arrival by t (port exclusivity already caps the
+	// per-epoch send count at one, so the ≤ form is exact).
+	for pi, p := range d.Pieces {
+		init := make([]bool, n)
+		for _, s := range p.Srcs {
+			init[s] = true
+		}
+		for i := 0; i < n; i++ {
+			if init[i] {
+				continue
+			}
+			for t := 0; t <= T-eps[pi].lat; t++ {
+				var terms []lp.Term
+				for j := 0; j < n; j++ {
+					if v, ok := varOf[key{pi, i, j, t}]; ok {
+						terms = append(terms, lp.Term{Var: v, Coeff: 1})
+					}
+				}
+				if len(terms) == 0 {
+					continue
+				}
+				for i2 := 0; i2 < n; i2++ {
+					for t2 := 0; t2 <= t-eps[pi].lat; t2++ {
+						if v, ok := varOf[key{pi, i2, i, t2}]; ok {
+							terms = append(terms, lp.Term{Var: v, Coeff: -1})
+						}
+					}
+				}
+				prob.LP.AddConstraint(terms, lp.LE, 0)
+			}
+		}
+	}
+
+	// Port exclusivity: at most one active send per egress port and one
+	// active receive per ingress port per epoch.
+	for e := 0; e < T; e++ {
+		for g := 0; g < n; g++ {
+			var out, in []lp.Term
+			for _, k := range keys {
+				span := eps[k.p].span
+				if k.t <= e && e < k.t+span {
+					v := varOf[k]
+					if k.i == g {
+						out = append(out, lp.Term{Var: v, Coeff: 1})
+					}
+					if k.j == g {
+						in = append(in, lp.Term{Var: v, Coeff: 1})
+					}
+				}
+			}
+			if len(out) > 1 {
+				prob.LP.AddConstraint(out, lp.LE, 1)
+			}
+			if len(in) > 1 {
+				prob.LP.AddConstraint(in, lp.LE, 1)
+			}
+		}
+	}
+
+	sol, err := milp.Solve(prob, milp.Options{TimeLimit: budget, MaxNodes: 4000})
+	if err != nil {
+		return nil, fmt.Errorf("solve: horizon %d: %w", T, err)
+	}
+	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
+		return nil, nil
+	}
+
+	sched := &SubSchedule{Tau: tau, Engine: "exact"}
+	for v, k := range keys {
+		if sol.X[v] > 0.5 {
+			arrive := k.t + eps[k.p].lat
+			sched.Transfers = append(sched.Transfers, Transfer{
+				Src: k.i, Dst: k.j, Piece: k.p, Start: k.t, Arrive: arrive,
+			})
+			if arrive > sched.Epochs {
+				sched.Epochs = arrive
+			}
+		}
+	}
+	pruneUnused(d, sched)
+	return sched, nil
+}
+
+// pruneUnused drops transfers whose delivery is never needed: the
+// destination neither demands the piece nor forwards it afterwards.
+// (The MILP minimizes sends so this is usually a no-op, but time-limited
+// incumbents can carry slack.)
+func pruneUnused(d *Demand, s *SubSchedule) {
+	need := make([]map[int]bool, len(d.Pieces))
+	for pi, p := range d.Pieces {
+		need[pi] = make(map[int]bool)
+		for _, t := range p.Dsts {
+			need[pi][t] = true
+		}
+	}
+	for {
+		forwards := make(map[[2]int]bool) // (piece, src) that sends later
+		for _, t := range s.Transfers {
+			forwards[[2]int{t.Piece, t.Src}] = true
+		}
+		kept := s.Transfers[:0]
+		removed := false
+		for _, t := range s.Transfers {
+			if need[t.Piece][t.Dst] || forwards[[2]int{t.Piece, t.Dst}] {
+				kept = append(kept, t)
+			} else {
+				removed = true
+			}
+		}
+		s.Transfers = kept
+		if !removed {
+			break
+		}
+	}
+	s.Epochs = 0
+	for _, t := range s.Transfers {
+		if t.Arrive > s.Epochs {
+			s.Epochs = t.Arrive
+		}
+	}
+}

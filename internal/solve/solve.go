@@ -1,0 +1,209 @@
+package solve
+
+import (
+	"fmt"
+	"time"
+)
+
+// Engine selects the solving strategy.
+type Engine int
+
+// Engines.
+const (
+	// EngineAuto tries the exact MILP and falls back to randomized
+	// greedy when the instance exceeds the size budget.
+	EngineAuto Engine = iota
+	// EngineGreedy is deterministic earliest-finish list scheduling.
+	EngineGreedy
+	// EngineRestarts is greedy plus randomized restarts.
+	EngineRestarts
+	// EngineExact is branch-and-bound MILP only (errors when too large).
+	EngineExact
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineGreedy:
+		return "greedy"
+	case EngineRestarts:
+		return "restarts"
+	case EngineExact:
+		return "exact"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a solve.
+type Options struct {
+	// E is the accuracy/efficiency knob of §5.3/Appendix A.3: the epoch
+	// duration is derived as τ ≈ E·(α+β·s). The paper's two-step
+	// synthesis uses E1=3.0 for the coarse pass and E2=0.5 for the fine
+	// pass. Ignored when Tau is set. Zero defaults to 0.5.
+	E float64
+	// Tau overrides the epoch duration directly (seconds).
+	Tau float64
+	// Engine selects the strategy (default EngineAuto).
+	Engine Engine
+	// MaxBinaries caps the exact MILP's variable count (default 384).
+	MaxBinaries int
+	// TimeLimit bounds the exact engine per demand (default 2s).
+	TimeLimit time.Duration
+	// Seed drives randomized restarts (deterministic per seed).
+	Seed int64
+	// Restarts is the randomized restart count (default 16).
+	Restarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.E <= 0 {
+		o.E = 0.5
+	}
+	if o.MaxBinaries <= 0 {
+		o.MaxBinaries = 384
+	}
+	if o.TimeLimit <= 0 {
+		o.TimeLimit = 2 * time.Second
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 16
+	}
+	return o
+}
+
+// TauFor returns the epoch duration the options imply for a demand.
+func (o Options) TauFor(d *Demand) float64 {
+	o = o.withDefaults()
+	if o.Tau > 0 {
+		return o.Tau
+	}
+	maxBytes := 0.0
+	for _, p := range d.Pieces {
+		if p.Bytes > maxBytes {
+			maxBytes = p.Bytes
+		}
+	}
+	if maxBytes == 0 {
+		maxBytes = 1
+	}
+	return DeriveTau(d.Alpha, d.Beta, maxBytes, o.E)
+}
+
+// Solve synthesizes a sub-schedule for the demand.
+func Solve(d *Demand, opts Options) (*SubSchedule, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	tau := opts.TauFor(d)
+
+	// Closed-form fast path: uniform broadcast bundles (the dominant
+	// shape of all-to-all style merged demands) have a provably
+	// load-optimal rotation schedule; no search needed at any engine.
+	if s := rotationSolve(d, tau); s != nil {
+		return s, nil
+	}
+	// Large bundles: direct port scheduling instead of the generic
+	// greedy, whose candidate scan is quadratic in deliveries. The
+	// threshold keeps the search engines on the small per-group demands
+	// where relay choices matter (single-server cells, small testbeds)
+	// and routes merged many-piece cells to the linear paths.
+	if deliveryCount(d) > 128 {
+		if pointToPoint(d) {
+			return firstFitSolve(d, tau), nil
+		}
+		return flattenSolve(d, tau), nil
+	}
+
+	switch opts.Engine {
+	case EngineGreedy:
+		return greedySolve(d, tau, nil), nil
+	case EngineRestarts:
+		return improveSolve(d, tau, opts.Seed, opts.Restarts), nil
+	case EngineExact:
+		return exactSolve(d, tau, opts.MaxBinaries, opts.TimeLimit)
+	case EngineAuto:
+		s, err := exactSolve(d, tau, opts.MaxBinaries, opts.TimeLimit)
+		if err == errTooLarge {
+			return improveSolve(d, tau, opts.Seed, opts.Restarts), nil
+		}
+		return s, err
+	default:
+		return nil, fmt.Errorf("solve: unknown engine %d", int(opts.Engine))
+	}
+}
+
+// CheckSolution verifies that a sub-schedule satisfies its demand:
+// availability ordering, port exclusivity, and full delivery. Used by
+// tests and as a debugging guard.
+func CheckSolution(d *Demand, s *SubSchedule) error {
+	n := d.NumGPUs
+	avail := make([][]int, len(d.Pieces))
+	for pi, p := range d.Pieces {
+		avail[pi] = make([]int, n)
+		for g := range avail[pi] {
+			avail[pi][g] = -1
+		}
+		for _, src := range p.Srcs {
+			avail[pi][src] = 0
+		}
+	}
+	type span struct{ start, end int }
+	egress := make([][]span, n)
+	ingress := make([][]span, n)
+	overlaps := func(list []span, s span) bool {
+		for _, iv := range list {
+			if s.start < iv.end && s.end > iv.start {
+				return true
+			}
+		}
+		return false
+	}
+	// Transfers must be checkable in start order; ties resolved by
+	// iterating until fixpoint on availability.
+	remaining := append([]Transfer(nil), s.Transfers...)
+	for len(remaining) > 0 {
+		progressed := false
+		next := remaining[:0]
+		for _, t := range remaining {
+			ep := paramsFor(d, s.Tau, d.Pieces[t.Piece].Bytes)
+			if avail[t.Piece][t.Src] < 0 || avail[t.Piece][t.Src] > t.Start {
+				next = append(next, t)
+				continue
+			}
+			sp := span{t.Start, t.Start + ep.span}
+			if overlaps(egress[t.Src], sp) {
+				return fmt.Errorf("solve: egress port %d double-booked at epoch %d", t.Src, t.Start)
+			}
+			if overlaps(ingress[t.Dst], sp) {
+				return fmt.Errorf("solve: ingress port %d double-booked at epoch %d", t.Dst, t.Start)
+			}
+			if want := t.Start + ep.lat; t.Arrive != want {
+				return fmt.Errorf("solve: transfer arrival %d, want %d", t.Arrive, want)
+			}
+			egress[t.Src] = append(egress[t.Src], sp)
+			ingress[t.Dst] = append(ingress[t.Dst], sp)
+			if avail[t.Piece][t.Dst] < 0 || t.Arrive < avail[t.Piece][t.Dst] {
+				avail[t.Piece][t.Dst] = t.Arrive
+			}
+			progressed = true
+		}
+		if !progressed {
+			return fmt.Errorf("solve: %d transfers never become sendable (availability violation)", len(next))
+		}
+		remaining = append([]Transfer(nil), next...)
+	}
+	for pi, p := range d.Pieces {
+		for _, dst := range p.Dsts {
+			if avail[pi][dst] < 0 {
+				return fmt.Errorf("solve: piece %d never delivered to GPU %d", pi, dst)
+			}
+			if avail[pi][dst] > s.Epochs {
+				return fmt.Errorf("solve: delivery at %d exceeds makespan %d", avail[pi][dst], s.Epochs)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package teccl
+
+import (
+	"testing"
+	"time"
+
+	"syccl/internal/collective"
+	"syccl/internal/sim"
+	"syccl/internal/topology"
+)
+
+func TestAllGatherValidates(t *testing.T) {
+	top := topology.A100Clos(2)
+	col := collective.AllGather(16, 1<<20)
+	res, err := Synthesize(top, col, Options{TimeBudget: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(col); err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || res.Spent <= 0 {
+		t.Errorf("result metadata: %+v", res)
+	}
+}
+
+func TestBudgetConsumed(t *testing.T) {
+	// TECCL keeps improving until the budget expires, mirroring the
+	// paper's timeout-bounded Gurobi runs.
+	top := topology.A100Clos(2)
+	col := collective.AllGather(16, 1<<22)
+	budget := 300 * time.Millisecond
+	res, err := Synthesize(top, col, Options{TimeBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spent < budget {
+		t.Errorf("spent %v < budget %v", res.Spent, budget)
+	}
+	if res.Rounds < 2 {
+		t.Errorf("rounds = %d, expected restarts within budget", res.Rounds)
+	}
+}
+
+func TestImprovementNeverHurts(t *testing.T) {
+	top := topology.H800Rail(2)
+	col := collective.AllGather(16, 1<<24)
+	short, err := Synthesize(top, col, Options{TimeBudget: 50 * time.Millisecond, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Synthesize(top, col, Options{TimeBudget: 600 * time.Millisecond, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Time > short.Time*1.0001 {
+		t.Errorf("longer budget degraded schedule: %g vs %g", long.Time, short.Time)
+	}
+}
+
+func TestCoarseTauDegradesAccuracy(t *testing.T) {
+	// Appendix A.2: larger τ → faster modeling, worse schedules.
+	top := topology.H800Rail(2)
+	col := collective.AllGather(16, 1<<26)
+	fine, err := Synthesize(top, col, Options{TimeBudget: 200 * time.Millisecond, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Synthesize(top, col, Options{TimeBudget: 200 * time.Millisecond, Seed: 2, TauScale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Time < fine.Time*0.999 {
+		t.Errorf("coarse tau unexpectedly better: %g vs %g", coarse.Time, fine.Time)
+	}
+}
+
+func TestReduceScatterMirror(t *testing.T) {
+	top := topology.A100Clos(2)
+	col := collective.ReduceScatter(16, 1<<20)
+	res, err := Synthesize(top, col, Options{TimeBudget: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoAll(t *testing.T) {
+	top := topology.H800Rail(2) // forces relaying for cross-rail pairs
+	col := collective.AlltoAll(16, 1<<18)
+	res, err := Synthesize(top, col, Options{TimeBudget: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	top := topology.H800Small(2)
+	col := collective.AllReduce(8, 1<<20)
+	res, err := Synthesize(top, col, Options{TimeBudget: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Simulate(top, res.Schedule, sim.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsupportedKinds(t *testing.T) {
+	top := topology.H800Small(2)
+	if _, err := Synthesize(top, collective.Reduce(8, 0, 1024), Options{}); err == nil {
+		t.Error("Reduce should be rejected")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	top := topology.H800Small(2)
+	col := collective.Broadcast(8, 0, 1<<20)
+	res, err := Synthesize(top, col, Options{TimeBudget: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(col); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+package topology
+
+import "fmt"
+
+// Config describes a parametric GPU cluster for Build. It covers the
+// paper's topology families: single-server, rail-optimized multi-rail
+// (Figs 3, 13b, 19), and Clos (Figs 13a, 20).
+//
+// Each GPU gets one NVSwitch port (per-GPU NVLink bandwidth 1/NVBeta) and
+// one logical NIC (per-GPU network bandwidth 1/NetBeta; shared physical
+// NICs are expressed by setting NetBeta to the per-GPU share, e.g. 4×200
+// Gbps NICs shared by 8 GPUs → 12.5 GB/s per GPU).
+type Config struct {
+	Name           string
+	Servers        int // number of servers
+	GPUsPerServer  int // GPUs (and logical NICs) per server
+	NVAlpha        float64
+	NVBeta         float64
+	NetAlpha       float64
+	NetBeta        float64
+	ServersPerLeaf int // >0: Clos — leaf l serves this many consecutive servers; 0: rail-optimized — leaf r serves GPUs with local index r
+	LeavesPerSpine int // >0: add a spine tier, each spine serving this many consecutive leaves; 0: no spine tier
+	WithCore       bool
+}
+
+// Build constructs the physical topology described by cfg and extracts its
+// dimensions. It panics on invalid configurations (builders are invoked
+// with compile-time-known shapes).
+func Build(cfg Config) *Topology {
+	if cfg.Servers <= 0 || cfg.GPUsPerServer <= 0 {
+		panic(fmt.Sprintf("topology.Build: bad shape %d×%d", cfg.Servers, cfg.GPUsPerServer))
+	}
+	t := &Topology{Name: cfg.Name}
+	n := cfg.Servers * cfg.GPUsPerServer
+
+	addNode := func(kind NodeKind, server, local int, name string) int {
+		id := len(t.Nodes)
+		t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Server: server, Local: local, Name: name})
+		return id
+	}
+	addBidi := func(a, b int, alpha, beta float64) {
+		t.Links = append(t.Links, Link{Src: a, Dst: b, Alpha: alpha, Beta: beta})
+		t.Links = append(t.Links, Link{Src: b, Dst: a, Alpha: alpha, Beta: beta})
+	}
+
+	// GPUs first so their node IDs are 0..n-1.
+	for s := 0; s < cfg.Servers; s++ {
+		for g := 0; g < cfg.GPUsPerServer; g++ {
+			id := addNode(KindGPU, s, g, fmt.Sprintf("gpu%d.%d", s, g))
+			t.GPUs = append(t.GPUs, id)
+		}
+	}
+
+	// Intra-server NVSwitch fabric.
+	for s := 0; s < cfg.Servers; s++ {
+		if cfg.GPUsPerServer < 2 {
+			continue
+		}
+		nv := addNode(KindNVSwitch, s, -1, fmt.Sprintf("nvswitch%d", s))
+		for g := 0; g < cfg.GPUsPerServer; g++ {
+			addBidi(s*cfg.GPUsPerServer+g, nv, cfg.NVAlpha/2, cfg.NVBeta)
+		}
+	}
+
+	// One logical NIC per GPU.
+	nics := make([]int, n)
+	if cfg.NetBeta > 0 && cfg.Servers > 1 {
+		for s := 0; s < cfg.Servers; s++ {
+			for g := 0; g < cfg.GPUsPerServer; g++ {
+				gpu := s*cfg.GPUsPerServer + g
+				nic := addNode(KindNIC, s, g, fmt.Sprintf("nic%d.%d", s, g))
+				nics[gpu] = nic
+				addBidi(gpu, nic, 0, cfg.NetBeta)
+			}
+		}
+
+		hopAlpha := cfg.NetAlpha / 2
+
+		// Leaf tier.
+		var leaves []int
+		if cfg.ServersPerLeaf > 0 {
+			// Clos: leaf l serves ServersPerLeaf consecutive servers.
+			numLeaves := (cfg.Servers + cfg.ServersPerLeaf - 1) / cfg.ServersPerLeaf
+			for l := 0; l < numLeaves; l++ {
+				leaf := addNode(KindLeafSwitch, -1, -1, fmt.Sprintf("leaf%d", l))
+				leaves = append(leaves, leaf)
+				for s := l * cfg.ServersPerLeaf; s < (l+1)*cfg.ServersPerLeaf && s < cfg.Servers; s++ {
+					for g := 0; g < cfg.GPUsPerServer; g++ {
+						addBidi(nics[s*cfg.GPUsPerServer+g], leaf, hopAlpha, cfg.NetBeta)
+					}
+				}
+			}
+		} else {
+			// Rail-optimized: leaf r serves all GPUs with local index r.
+			for r := 0; r < cfg.GPUsPerServer; r++ {
+				leaf := addNode(KindLeafSwitch, -1, -1, fmt.Sprintf("leaf%d", r))
+				leaves = append(leaves, leaf)
+				for s := 0; s < cfg.Servers; s++ {
+					addBidi(nics[s*cfg.GPUsPerServer+r], leaf, hopAlpha, cfg.NetBeta)
+				}
+			}
+		}
+
+		// Spine tier.
+		var spines []int
+		if cfg.LeavesPerSpine > 0 && len(leaves) > 1 {
+			numSpines := (len(leaves) + cfg.LeavesPerSpine - 1) / cfg.LeavesPerSpine
+			for sp := 0; sp < numSpines; sp++ {
+				spine := addNode(KindSpineSwitch, -1, -1, fmt.Sprintf("spine%d", sp))
+				spines = append(spines, spine)
+				for l := sp * cfg.LeavesPerSpine; l < (sp+1)*cfg.LeavesPerSpine && l < len(leaves); l++ {
+					addBidi(leaves[l], spine, hopAlpha, cfg.NetBeta)
+				}
+			}
+		}
+
+		// Core tier.
+		if cfg.WithCore && len(spines) > 1 {
+			core := addNode(KindCoreSwitch, -1, -1, "core")
+			for _, sp := range spines {
+				addBidi(sp, core, hopAlpha, cfg.NetBeta)
+			}
+		}
+	}
+
+	extractDims(t, cfg)
+	t.Sym = buildSymmetry(cfg)
+	if err := t.Validate(); err != nil {
+		panic("topology.Build produced invalid topology: " + err.Error())
+	}
+	if err := t.Sym.Validate(t); err != nil {
+		panic("topology.Build produced invalid symmetry: " + err.Error())
+	}
+	return t
+}
+
+// extractDims derives the logical dimensions from the physical graph
+// (§3.1: "SyCCL automatically extracts the dimensions and groups according
+// to connectivity and connection performance").
+//
+// Dimension 0 is the intra-server fabric: GPUs connected through NVSwitch
+// nodes. Each subsequent dimension corresponds to a network switch tier t:
+// its groups are the connected components of the graph restricted to GPUs,
+// NICs, and network switches of tier ≤ t. A tier that does not coarsen the
+// previous partition contributes no dimension.
+func extractDims(t *Topology, cfg Config) {
+	n := t.NumGPUs()
+
+	components := func(allowed func(NodeKind) bool) [][]int {
+		uf := newUnionFind(len(t.Nodes))
+		for _, l := range t.Links {
+			if allowed(t.Nodes[l.Src].Kind) && allowed(t.Nodes[l.Dst].Kind) {
+				uf.union(l.Src, l.Dst)
+			}
+		}
+		byRoot := make(map[int][]int)
+		for _, gpu := range t.GPUs {
+			r := uf.find(gpu)
+			byRoot[r] = append(byRoot[r], gpu)
+		}
+		groups := make([][]int, 0, len(byRoot))
+		for _, grp := range byRoot {
+			groups = append(groups, grp)
+		}
+		sortGroups(groups)
+		return groups
+	}
+
+	// Dimension 0: intra-server fabric.
+	d0 := components(func(k NodeKind) bool { return k == KindGPU || k == KindNVSwitch })
+	if coarserThanSingletons(d0) {
+		t.Dims = append(t.Dims, newDim(len(t.Dims), "nvswitch", cfg.NVAlpha, cfg.NVBeta, 0, d0, n))
+	}
+
+	// Network tiers.
+	prev := d0
+	names := map[int]string{1: "leaf", 2: "spine", 3: "core"}
+	if cfg.ServersPerLeaf == 0 {
+		names[1] = "rail"
+	}
+	for tier := 1; tier <= 3; tier++ {
+		hasTier := false
+		for _, nd := range t.Nodes {
+			if nd.Kind.tier() == tier {
+				hasTier = true
+				break
+			}
+		}
+		if !hasTier {
+			continue
+		}
+		maxTier := tier
+		grp := components(func(k NodeKind) bool {
+			if k == KindGPU || k == KindNIC {
+				return true
+			}
+			tt := k.tier()
+			return tt >= 1 && tt <= maxTier
+		})
+		if samePartition(grp, prev) || !coarserThanSingletons(grp) {
+			continue
+		}
+		// α grows with tier depth: GPU→NIC (0) + tier hops up and down.
+		// All network tiers traverse the same NIC, hence port class 1.
+		alpha := float64(tier) * cfg.NetAlpha
+		t.Dims = append(t.Dims, newDim(len(t.Dims), names[tier], alpha, cfg.NetBeta, 1, grp, n))
+		prev = grp
+	}
+}
+
+func coarserThanSingletons(groups [][]int) bool {
+	for _, g := range groups {
+		if len(g) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func samePartition(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortGroups orders groups by their smallest member and sorts members.
+func sortGroups(groups [][]int) {
+	for _, g := range groups {
+		sortInts(g)
+	}
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j][0] < groups[j-1][0]; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+type unionFind struct{ parent, rank []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

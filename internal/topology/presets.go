@@ -1,0 +1,134 @@
+package topology
+
+import "fmt"
+
+// Link parameters for the paper's two production clusters (§7.1).
+//
+// A100 testbed (Fig 13a): 8×NVIDIA A800 per server with NVSwitch
+// (≈200 GB/s per-GPU per direction) and 4×200 Gbps RDMA NICs per server
+// shared by 8 GPUs (→ 12.5 GB/s per GPU).
+//
+// H800 cluster (Fig 13b): 8×H800 per server, NVLink 180 GB/s per GPU, and
+// 8×400 Gbps NICs (one per GPU → 50 GB/s per GPU), giving the 3.6:1
+// NVLink:network ratio §2.1 reports.
+const (
+	A100NVBandwidth  = 200e9  // bytes/s per GPU over NVSwitch
+	A100NetBandwidth = 12.5e9 // bytes/s per GPU over the network
+	H800NVBandwidth  = 180e9
+	H800NetBandwidth = 50e9
+
+	// Latencies follow TACCL-style profiled values: a couple of
+	// microseconds inside a server, ~10 µs across the network fabric.
+	NVAlpha  = 3e-6
+	NetAlpha = 10e-6
+)
+
+// SingleServer returns an n-GPU single-server topology (NVSwitch only).
+func SingleServer(n int) *Topology {
+	return Build(Config{
+		Name:          fmt.Sprintf("server-%dgpu", n),
+		Servers:       1,
+		GPUsPerServer: n,
+		NVAlpha:       NVAlpha,
+		NVBeta:        1 / H800NVBandwidth,
+	})
+}
+
+// A100Clos returns the paper's A100 testbed (Fig 13a): `servers` servers of
+// 8 GPUs, every two servers under one ToR (leaf), a full-bisection spine
+// above. servers=2 is the 16-GPU testbed, servers=4 the 32-GPU one.
+func A100Clos(servers int) *Topology {
+	return Build(Config{
+		Name:           fmt.Sprintf("a100-clos-%dgpu", servers*8),
+		Servers:        servers,
+		GPUsPerServer:  8,
+		NVAlpha:        NVAlpha,
+		NVBeta:         1 / A100NVBandwidth,
+		NetAlpha:       NetAlpha,
+		NetBeta:        1 / A100NetBandwidth,
+		ServersPerLeaf: 2,
+		LeavesPerSpine: (servers + 1) / 2, // one spine tier spanning all leaves
+	})
+}
+
+// H800Rail returns the paper's H800 production cluster (Fig 13b): `servers`
+// servers of 8 GPUs on a rail-optimized network — GPUs with the same local
+// index share a leaf switch; there is no cross-rail network path (cross-rail
+// traffic relays over NVLink, as NCCL PXN does). servers=8 is the 64-GPU
+// configuration, servers=64 the 512-GPU one.
+func H800Rail(servers int) *Topology {
+	return Build(Config{
+		Name:          fmt.Sprintf("h800-rail-%dgpu", servers*8),
+		Servers:       servers,
+		GPUsPerServer: 8,
+		NVAlpha:       NVAlpha,
+		NVBeta:        1 / H800NVBandwidth,
+		NetAlpha:      NetAlpha,
+		NetBeta:       1 / H800NetBandwidth,
+	})
+}
+
+// H800Small returns the scaled-down microbenchmark cluster of §7.4:
+// `servers` servers of 4 H800 GPUs each, same rail-optimized structure.
+func H800Small(servers int) *Topology {
+	return Build(Config{
+		Name:          fmt.Sprintf("h800-small-%dgpu", servers*4),
+		Servers:       servers,
+		GPUsPerServer: 4,
+		NVAlpha:       NVAlpha,
+		NVBeta:        1 / H800NVBandwidth,
+		NetAlpha:      NetAlpha,
+		NetBeta:       1 / H800NetBandwidth,
+	})
+}
+
+// Fig3 returns the worked-example multi-rail cluster of Fig 3: 4 servers ×
+// 4 GPUs, one leaf per rail, two spines (two rails each), one core —
+// yielding four dimensions with 4/4/2/1 groups.
+func Fig3() *Topology {
+	return Build(Config{
+		Name:           "fig3-multirail-16gpu",
+		Servers:        4,
+		GPUsPerServer:  4,
+		NVAlpha:        NVAlpha,
+		NVBeta:         1 / H800NVBandwidth,
+		NetAlpha:       NetAlpha,
+		NetBeta:        1 / H800NetBandwidth,
+		LeavesPerSpine: 2,
+		WithCore:       true,
+	})
+}
+
+// Fig19 returns the larger multi-rail example of Appendix B (Fig 19):
+// 7 servers × 4 GPUs, one leaf per rail, a single spine over all leaves —
+// three dimensions with 7/4/1 groups.
+func Fig19() *Topology {
+	return Build(Config{
+		Name:           "fig19-multirail-28gpu",
+		Servers:        7,
+		GPUsPerServer:  4,
+		NVAlpha:        NVAlpha,
+		NVBeta:         1 / H800NVBandwidth,
+		NetAlpha:       NetAlpha,
+		NetBeta:        1 / H800NetBandwidth,
+		LeavesPerSpine: 4,
+	})
+}
+
+// Fig20 returns the Clos example of Appendix B (Fig 20): 8 servers × 4
+// GPUs, each pair of servers under one leaf, each pair of leaves under one
+// spine, two spines under one core — four dimensions with 8/4/2/1 groups.
+func Fig20() *Topology {
+	return Build(Config{
+		Name:           "fig20-clos-32gpu",
+		Servers:        8,
+		GPUsPerServer:  4,
+		NVAlpha:        NVAlpha,
+		NVBeta:         1 / H800NVBandwidth,
+		NetAlpha:       NetAlpha,
+		NetBeta:        1 / H800NetBandwidth,
+		ServersPerLeaf: 2,
+		LeavesPerSpine: 2,
+		WithCore:       true,
+	})
+}

@@ -1,0 +1,105 @@
+package topology
+
+import "testing"
+
+func TestSymmetryTransitive(t *testing.T) {
+	for _, top := range []*Topology{Fig3(), Fig19(), Fig20(), A100Clos(4), H800Rail(8), H800Small(6)} {
+		sym := top.Sym
+		n := top.NumGPUs()
+		for _, to := range []int{0, 1, n / 2, n - 1} {
+			p := sym.MapRoot(0, to)
+			if got := sym.Apply(p, 0); got != to {
+				t.Errorf("%s: MapRoot(0,%d) maps 0 to %d", top.Name, to, got)
+			}
+		}
+	}
+}
+
+func TestSymmetryIsPermutation(t *testing.T) {
+	top := Fig20()
+	for _, p := range top.Sym.All() {
+		perm := top.Sym.Permutation(p)
+		seen := make([]bool, len(perm))
+		for _, v := range perm {
+			if v < 0 || v >= len(perm) || seen[v] {
+				t.Fatalf("element %+v is not a permutation: %v", p, perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSymmetryPreservesGroups(t *testing.T) {
+	// Validate is called in Build, but exercise it across all elements of
+	// a hierarchical topology, not just generators.
+	top := Fig3()
+	for _, p := range top.Sym.All() {
+		perm := top.Sym.Permutation(p)
+		for _, dim := range top.Dims {
+			for _, grp := range dim.Groups {
+				img := dim.GroupOf(perm[grp[0]])
+				for _, gpu := range grp {
+					if dim.GroupOf(perm[gpu]) != img {
+						t.Fatalf("element %+v splits dim %s group %v", p, dim.Name, grp)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetryCyclicServers(t *testing.T) {
+	top := Fig19() // 7 servers: cyclic axis
+	if top.Sym.Server.Xor {
+		t.Fatal("7-server axis should be cyclic")
+	}
+	p := top.Sym.MapRoot(0, 4) // GPU 4 = server 1, local 0
+	if p.SShift != 1 || p.GShift != 0 {
+		t.Errorf("MapRoot = %+v", p)
+	}
+	if got := top.Sym.Apply(p, 24); got != 0 { // server 6 wraps to 0
+		t.Errorf("wraparound: %d", got)
+	}
+}
+
+func TestSymmetryAllCount(t *testing.T) {
+	top := H800Rail(8)
+	if got := len(top.Sym.All()); got != 64 {
+		t.Errorf("|All| = %d, want 64", got)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	if !(GPUPerm{}).Identity() || (GPUPerm{1, 0}).Identity() {
+		t.Error("Identity() wrong")
+	}
+}
+
+func TestAxisApply(t *testing.T) {
+	x := Axis{N: 8, Xor: true}
+	if x.apply(3, 5) != 6 { // 5^3
+		t.Errorf("xor apply = %d", x.apply(3, 5))
+	}
+	c := Axis{N: 7, Xor: false}
+	if c.apply(3, 5) != 1 { // (5+3)%7
+		t.Errorf("cyclic apply = %d", c.apply(3, 5))
+	}
+	one := Axis{N: 1}
+	if one.apply(5, 0) != 0 {
+		t.Error("singleton axis must be identity")
+	}
+}
+
+func TestMapRootRoundTripAllPairs(t *testing.T) {
+	top := H800Small(6) // cyclic server axis × xor local axis
+	sym := top.Sym
+	n := top.NumGPUs()
+	for from := 0; from < n; from += 5 {
+		for to := 0; to < n; to += 3 {
+			p := sym.MapRoot(from, to)
+			if got := sym.Apply(p, from); got != to {
+				t.Fatalf("MapRoot(%d,%d): applied to %d", from, to, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func groupsEqual(got [][]int, want [][]int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFig3Dims checks the dimension/group extraction against the worked
+// example of Fig 3: 16 GPUs in 4 servers, four dimensions.
+func TestFig3Dims(t *testing.T) {
+	top := Fig3()
+	if top.NumGPUs() != 16 {
+		t.Fatalf("NumGPUs = %d, want 16", top.NumGPUs())
+	}
+	if top.NumDims() != 4 {
+		t.Fatalf("NumDims = %d, want 4: %v", top.NumDims(), top)
+	}
+	want := [][][]int{
+		{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13, 14, 15}},
+		{{0, 4, 8, 12}, {1, 5, 9, 13}, {2, 6, 10, 14}, {3, 7, 11, 15}},
+		{{0, 1, 4, 5, 8, 9, 12, 13}, {2, 3, 6, 7, 10, 11, 14, 15}},
+		{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
+	}
+	for d, w := range want {
+		if !groupsEqual(top.Dim(d).Groups, w) {
+			t.Errorf("dim %d groups = %v, want %v", d, top.Dim(d).Groups, w)
+		}
+	}
+}
+
+// TestFig19Dims checks the 7×4 multi-rail example of Appendix B.
+func TestFig19Dims(t *testing.T) {
+	top := Fig19()
+	if top.NumGPUs() != 28 {
+		t.Fatalf("NumGPUs = %d, want 28", top.NumGPUs())
+	}
+	if top.NumDims() != 3 {
+		t.Fatalf("NumDims = %d, want 3", top.NumDims())
+	}
+	if got := len(top.Dim(0).Groups); got != 7 {
+		t.Errorf("dim0 groups = %d, want 7 servers", got)
+	}
+	if got := len(top.Dim(1).Groups); got != 4 {
+		t.Errorf("dim1 groups = %d, want 4 rails", got)
+	}
+	if got := len(top.Dim(2).Groups); got != 1 {
+		t.Errorf("dim2 groups = %d, want 1", got)
+	}
+	// Rail 0 holds GPUs 0,4,...,24.
+	want := []int{0, 4, 8, 12, 16, 20, 24}
+	got := top.Dim(1).Groups[0]
+	if !groupsEqual([][]int{got}, [][]int{want}) {
+		t.Errorf("rail 0 = %v, want %v", got, want)
+	}
+}
+
+// TestFig20Dims checks the Clos example of Appendix B (Fig 20).
+func TestFig20Dims(t *testing.T) {
+	top := Fig20()
+	if top.NumDims() != 4 {
+		t.Fatalf("NumDims = %d, want 4", top.NumDims())
+	}
+	wantCounts := []int{8, 4, 2, 1}
+	for d, w := range wantCounts {
+		if got := len(top.Dim(d).Groups); got != w {
+			t.Errorf("dim %d: %d groups, want %d", d, got, w)
+		}
+	}
+	// Dim 1 (leaf) group 0 must hold all GPUs of servers 0 and 1.
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if !groupsEqual([][]int{top.Dim(1).Groups[0]}, [][]int{want}) {
+		t.Errorf("leaf group 0 = %v, want %v", top.Dim(1).Groups[0], want)
+	}
+}
+
+func TestA100ClosDims(t *testing.T) {
+	top := A100Clos(4) // 32 GPUs
+	if top.NumGPUs() != 32 {
+		t.Fatalf("NumGPUs = %d", top.NumGPUs())
+	}
+	if top.NumDims() != 3 {
+		t.Fatalf("NumDims = %d, want 3 (nvswitch/leaf/spine)", top.NumDims())
+	}
+	if got := len(top.Dim(0).Groups); got != 4 {
+		t.Errorf("servers = %d, want 4", got)
+	}
+	if got := len(top.Dim(1).Groups); got != 2 {
+		t.Errorf("leaf groups = %d, want 2", got)
+	}
+	if got := top.Dim(1).GroupSize(0); got != 16 {
+		t.Errorf("leaf group size = %d, want 16", got)
+	}
+
+	// The 16-GPU testbed has no spine dimension (a single leaf covers it).
+	top16 := A100Clos(2)
+	if top16.NumDims() != 2 {
+		t.Fatalf("16-GPU NumDims = %d, want 2", top16.NumDims())
+	}
+	if got := top16.Dim(1).GroupSize(0); got != 16 {
+		t.Errorf("16-GPU leaf group size = %d, want 16", got)
+	}
+}
+
+func TestH800RailDims(t *testing.T) {
+	top := H800Rail(8) // 64 GPUs
+	if top.NumDims() != 2 {
+		t.Fatalf("NumDims = %d, want 2 (nvswitch/rail)", top.NumDims())
+	}
+	if got := len(top.Dim(1).Groups); got != 8 {
+		t.Errorf("rails = %d, want 8", got)
+	}
+	if got := top.Dim(1).GroupSize(0); got != 8 {
+		t.Errorf("rail size = %d, want 8 servers", got)
+	}
+	// NVLink:network bandwidth ratio must be the paper's 3.6:1 (§2.1).
+	ratio := top.Dim(0).Bandwidth() / top.Dim(1).Bandwidth()
+	if math.Abs(ratio-3.6) > 1e-9 {
+		t.Errorf("NVLink:net ratio = %g, want 3.6", ratio)
+	}
+}
+
+func TestSingleServer(t *testing.T) {
+	top := SingleServer(8)
+	if top.NumDims() != 1 {
+		t.Fatalf("NumDims = %d, want 1", top.NumDims())
+	}
+	if got := top.Dim(0).GroupSize(0); got != 8 {
+		t.Errorf("group size = %d", got)
+	}
+}
+
+func TestSameGroup(t *testing.T) {
+	top := Fig3()
+	cases := []struct {
+		d, a, b int
+		want    bool
+	}{
+		{0, 0, 1, true},   // same server
+		{0, 0, 4, false},  // different servers
+		{1, 0, 4, true},   // same rail
+		{1, 0, 5, false},  // different rails
+		{2, 0, 5, true},   // same spine
+		{2, 0, 6, false},  // different spines
+		{3, 0, 15, true},  // core spans all
+		{3, 14, 1, true},  // core spans all
+		{1, 3, 15, true},  // rail 3
+		{0, 12, 15, true}, // server 3
+	}
+	for _, c := range cases {
+		if got := top.SameGroup(c.d, c.a, c.b); got != c.want {
+			t.Errorf("SameGroup(%d,%d,%d) = %v, want %v", c.d, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBandwidthShare(t *testing.T) {
+	top := H800Rail(8)
+	var sum float64
+	for d := range top.Dims {
+		sum += top.BandwidthShare(d)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %g, want 1", sum)
+	}
+	// NVLink share = 180/(180+50).
+	want := 180.0 / 230.0
+	if got := top.BandwidthShare(0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("NVLink share = %g, want %g", got, want)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	top := Fig3()
+	if err := top.Validate(); err != nil {
+		t.Fatalf("fresh topology invalid: %v", err)
+	}
+	// Duplicate a GPU into two groups of dim 0.
+	bad := Fig3()
+	bad.Dims[0].Groups[1] = append([]int{0}, bad.Dims[0].Groups[1]...)
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted GPU in two groups")
+	}
+	bad2 := Fig3()
+	bad2.Links[0].Beta = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate accepted negative beta")
+	}
+}
+
+// TestGroupIsomorphism: all groups of a dimension have equal size — the
+// structural symmetry SyCCL depends on.
+func TestGroupIsomorphism(t *testing.T) {
+	for _, top := range []*Topology{Fig3(), Fig19(), Fig20(), A100Clos(4), H800Rail(8), H800Small(6)} {
+		for _, dim := range top.Dims {
+			for g := 1; g < len(dim.Groups); g++ {
+				if len(dim.Groups[g]) != len(dim.Groups[0]) {
+					t.Errorf("%s dim %s: group %d size %d != group 0 size %d",
+						top.Name, dim.Name, g, len(dim.Groups[g]), len(dim.Groups[0]))
+				}
+			}
+		}
+	}
+}
+
+// TestBuildPartitionProperty: for random shapes, every GPU appears in
+// exactly one group per dimension, and dim partitions are nested coarser
+// outwards (a dim-0 group never straddles two groups of a later dim
+// except when the later dim excludes it).
+func TestBuildPartitionProperty(t *testing.T) {
+	f := func(srv, gps uint8) bool {
+		servers := int(srv%6) + 2 // 2..7
+		gpus := 1 << (gps % 3)    // 1,2,4
+		if gpus == 1 {
+			gpus = 2
+		}
+		top := Build(Config{
+			Name:          "prop",
+			Servers:       servers,
+			GPUsPerServer: gpus,
+			NVAlpha:       NVAlpha,
+			NVBeta:        1 / H800NVBandwidth,
+			NetAlpha:      NetAlpha,
+			NetBeta:       1 / H800NetBandwidth,
+		})
+		if top.Validate() != nil {
+			return false
+		}
+		for _, dim := range top.Dims {
+			count := 0
+			for _, g := range dim.Groups {
+				count += len(g)
+			}
+			if count != top.NumGPUs() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDimAlphaMonotonic(t *testing.T) {
+	top := Fig20()
+	for d := 2; d < top.NumDims(); d++ {
+		if top.Dim(d).Alpha <= top.Dim(d-1).Alpha {
+			t.Errorf("dim %d alpha %g not greater than dim %d alpha %g",
+				d, top.Dim(d).Alpha, d-1, top.Dim(d-1).Alpha)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	for k, want := range map[NodeKind]string{
+		KindGPU: "GPU", KindNIC: "NIC", KindNVSwitch: "NVSwitch",
+		KindLeafSwitch: "Leaf", KindSpineSwitch: "Spine", KindCoreSwitch: "Core",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestLinkBandwidth(t *testing.T) {
+	l := Link{Beta: 1 / 50e9}
+	if math.Abs(l.Bandwidth()-50e9) > 1 {
+		t.Errorf("Bandwidth = %g", l.Bandwidth())
+	}
+	if (Link{}).Bandwidth() != 0 {
+		t.Error("zero-beta link should report zero bandwidth")
+	}
+}

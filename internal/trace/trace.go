@@ -1,0 +1,114 @@
+// Package trace renders simulated schedules as human-readable timelines:
+// a per-GPU text Gantt chart of port activity and a per-transfer event
+// log. The paper's workflow of inspecting SyCCL's "readable high-level
+// sketches" and hand-optimizing the winner (Appendix C) needs exactly
+// this view of where each port's time goes.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"syccl/internal/schedule"
+	"syccl/internal/sim"
+	"syccl/internal/topology"
+)
+
+// Event is one transfer with its simulated timing.
+type Event struct {
+	Transfer int // index into the schedule
+	Src, Dst int
+	Dim      int
+	Bytes    float64
+	Finish   float64 // arrival time (seconds)
+}
+
+// Timeline is the simulated activity of a schedule.
+type Timeline struct {
+	Events   []Event
+	Makespan float64
+}
+
+// Build combines a schedule with its simulation result.
+func Build(s *schedule.Schedule, r *sim.Result) *Timeline {
+	tl := &Timeline{Makespan: r.Time}
+	for i, t := range s.Transfers {
+		tl.Events = append(tl.Events, Event{
+			Transfer: i,
+			Src:      t.Src,
+			Dst:      t.Dst,
+			Dim:      t.Dim,
+			Bytes:    s.Pieces[t.Piece].Bytes,
+			Finish:   r.FinishAt[i],
+		})
+	}
+	sort.SliceStable(tl.Events, func(a, b int) bool { return tl.Events[a].Finish < tl.Events[b].Finish })
+	return tl
+}
+
+// EventLog renders the first `limit` events (0 = all) as a table.
+func (tl *Timeline) EventLog(limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %6s %6s %5s %12s\n", "finish", "src", "dst", "dim", "bytes")
+	n := len(tl.Events)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for _, e := range tl.Events[:n] {
+		fmt.Fprintf(&b, "%9.3fµs %6d %6d %5d %12.0f\n", e.Finish*1e6, e.Src, e.Dst, e.Dim, e.Bytes)
+	}
+	if n < len(tl.Events) {
+		fmt.Fprintf(&b, "… %d more events, makespan %.3gs\n", len(tl.Events)-n, tl.Makespan)
+	}
+	return b.String()
+}
+
+// Gantt renders per-GPU egress activity as a fixed-width chart: one row
+// per GPU, `width` columns spanning the makespan; each cell shows the
+// dimension digit of the transfer finishing in that slot ('.' = idle).
+func (tl *Timeline) Gantt(top *topology.Topology, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if tl.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	rows := make([][]byte, top.NumGPUs())
+	for g := range rows {
+		rows[g] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range tl.Events {
+		slot := int(e.Finish / tl.Makespan * float64(width))
+		if slot >= width {
+			slot = width - 1
+		}
+		c := byte('0' + e.Dim%10)
+		rows[e.Src][slot] = c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "egress activity over %.3gs (cell = dimension digit of a finishing send)\n", tl.Makespan)
+	for g, row := range rows {
+		fmt.Fprintf(&b, "gpu%-4d |%s|\n", g, row)
+	}
+	return b.String()
+}
+
+// DimSummary aggregates moved bytes and busy time per dimension.
+func (tl *Timeline) DimSummary(top *topology.Topology, r *sim.Result) string {
+	bytes := make([]float64, top.NumDims())
+	count := make([]int, top.NumDims())
+	for _, e := range tl.Events {
+		if e.Dim >= 0 && e.Dim < top.NumDims() {
+			bytes[e.Dim] += e.Bytes
+			count[e.Dim]++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %14s %12s\n", "dimension", "transfers", "bytes", "utilization")
+	for d := 0; d < top.NumDims(); d++ {
+		fmt.Fprintf(&b, "%-10s %10d %14.0f %11.1f%%\n",
+			top.Dim(d).Name, count[d], bytes[d], r.Utilization(top, d)*100)
+	}
+	return b.String()
+}

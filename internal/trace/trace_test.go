@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"syccl/internal/collective"
+	"syccl/internal/nccl"
+	"syccl/internal/sim"
+	"syccl/internal/topology"
+)
+
+func buildTimeline(t *testing.T) (*Timeline, *topology.Topology, *sim.Result) {
+	t.Helper()
+	top := topology.H800Small(2)
+	col := collective.AllGather(8, 1<<20)
+	s, err := nccl.AllGather(top, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Simulate(top, s, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(s, r), top, r
+}
+
+func TestBuildOrdersByFinish(t *testing.T) {
+	tl, _, r := buildTimeline(t)
+	if len(tl.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Finish < tl.Events[i-1].Finish {
+			t.Fatal("events not sorted by finish time")
+		}
+	}
+	if tl.Makespan != r.Time {
+		t.Errorf("makespan %g != sim time %g", tl.Makespan, r.Time)
+	}
+	if last := tl.Events[len(tl.Events)-1]; last.Finish != r.Time {
+		t.Errorf("last finish %g != makespan %g", last.Finish, r.Time)
+	}
+}
+
+func TestEventLogLimit(t *testing.T) {
+	tl, _, _ := buildTimeline(t)
+	out := tl.EventLog(5)
+	lines := strings.Count(out, "\n")
+	if lines != 7 { // header + 5 events + "more" line
+		t.Errorf("lines = %d: %s", lines, out)
+	}
+	full := tl.EventLog(0)
+	if strings.Contains(full, "more events") {
+		t.Error("unlimited log truncated")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tl, top, _ := buildTimeline(t)
+	out := tl.Gantt(top, 40)
+	if strings.Count(out, "\n") != top.NumGPUs()+1 {
+		t.Errorf("gantt rows wrong:\n%s", out)
+	}
+	// Some activity must appear (digits 0 or 1 for the two dims).
+	if !strings.ContainsAny(out, "01") {
+		t.Error("gantt shows no activity")
+	}
+	empty := (&Timeline{}).Gantt(top, 40)
+	if !strings.Contains(empty, "empty") {
+		t.Error("empty timeline not handled")
+	}
+}
+
+func TestDimSummary(t *testing.T) {
+	tl, top, r := buildTimeline(t)
+	out := tl.DimSummary(top, r)
+	if !strings.Contains(out, "nvswitch") || !strings.Contains(out, "rail") {
+		t.Errorf("summary missing dims:\n%s", out)
+	}
+	if !strings.Contains(out, "%") {
+		t.Error("summary missing utilization")
+	}
+}

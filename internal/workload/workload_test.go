@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"syccl/internal/collective"
+)
+
+func TestDPTrace(t *testing.T) {
+	cfg := Config{Model: GPT3_6B7(), Kind: DataParallel, Degree: 16}
+	trace, err := cfg.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("trace = %d calls", len(trace))
+	}
+	if trace[0].Collective.Kind != collective.KindReduceScatter ||
+		trace[1].Collective.Kind != collective.KindAllGather {
+		t.Errorf("kinds: %v, %v", trace[0].Collective.Kind, trace[1].Collective.Kind)
+	}
+	// Full gradient = params × 2 bytes, split across 16.
+	want := 6.7e9 * 2 / 16
+	if math.Abs(trace[1].Collective.ChunkSize-want) > 1 {
+		t.Errorf("AG slice = %g, want %g", trace[1].Collective.ChunkSize, want)
+	}
+}
+
+func TestTPTrace(t *testing.T) {
+	cfg := Config{Model: GPT3_6B7(), Kind: TensorParallel, Degree: 16}
+	trace, err := cfg.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 AG + 4 RS per layer per micro-batch → 32 layers × 1 micro = 128
+	// invocations each.
+	for _, call := range trace {
+		if call.Count != 4*32 {
+			t.Errorf("count = %d, want %d", call.Count, 4*32)
+		}
+	}
+	// Activation share: seq×hidden×2 / 16.
+	want := 2048.0 * 4096 * 2 / 16
+	if trace[0].Collective.ChunkSize != want {
+		t.Errorf("activation slice = %g, want %g", trace[0].Collective.ChunkSize, want)
+	}
+}
+
+func TestIterationSeconds(t *testing.T) {
+	cfg := Config{Model: GPT3_6B7(), Kind: DataParallel, Degree: 16, ComputeSeconds: 0.6}
+	constTimer := func(col *collective.Collective) (float64, error) { return 0.050, nil }
+	got, err := cfg.IterationSeconds(constTimer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compute + 0.35 × (2 × 50ms) = 0.635.
+	if math.Abs(got-0.635) > 1e-9 {
+		t.Errorf("iteration = %g, want 0.635", got)
+	}
+}
+
+func TestTPExposureHigherThanDP(t *testing.T) {
+	tp := Config{Model: GPT3_6B7(), Kind: TensorParallel, Degree: 16}.withDefaults()
+	dp := Config{Model: GPT3_6B7(), Kind: DataParallel, Degree: 16}.withDefaults()
+	if tp.Exposure <= dp.Exposure {
+		t.Errorf("TP exposure %g should exceed DP %g (TP collectives block more)", tp.Exposure, dp.Exposure)
+	}
+}
+
+func TestFasterCommReducesIteration(t *testing.T) {
+	cfg := Config{Model: Llama3_8B(), Kind: TensorParallel, Degree: 16, ComputeSeconds: 0.2}
+	slow, _ := cfg.IterationSeconds(func(*collective.Collective) (float64, error) { return 100e-6, nil })
+	fast, _ := cfg.IterationSeconds(func(*collective.Collective) (float64, error) { return 60e-6, nil })
+	if fast >= slow {
+		t.Errorf("faster collectives did not reduce iteration: %g vs %g", fast, slow)
+	}
+	// The improvement must be single-digit-% scale, like Table 6.
+	gain := (slow - fast) / slow
+	if gain <= 0 || gain > 0.5 {
+		t.Errorf("gain = %g implausible", gain)
+	}
+}
+
+func TestTable6Configs(t *testing.T) {
+	cfgs := Table6Configs()
+	if len(cfgs) != 6 {
+		t.Fatalf("rows = %d", len(cfgs))
+	}
+	names := map[string]bool{}
+	for _, c := range cfgs {
+		names[c.Name()] = true
+		if _, err := c.Trace(); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+	for _, want := range []string{"GPT3-6.7B, DP16", "GPT3-6.7B, TP16", "GPT3-6.7B, TP32",
+		"Llama3-8B, DP16", "Llama3-8B, TP16", "Llama3-8B, TP32"} {
+		if !names[want] {
+			t.Errorf("missing row %q", want)
+		}
+	}
+}
+
+func TestRejectsDegenerate(t *testing.T) {
+	cfg := Config{Model: GPT3_6B7(), Kind: DataParallel, Degree: 1}
+	if _, err := cfg.Trace(); err == nil {
+		t.Error("accepted degree 1")
+	}
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerate the evaluation artifacts recorded in EXPERIMENTS.md.
+#
+# Usage:
+#   scripts/refresh-experiments.sh            # quick sweeps (minutes)
+#   scripts/refresh-experiments.sh --full     # paper-scale sweeps (hours)
+set -e
+cd "$(dirname "$0")/.."
+
+MODE="-quick"
+OUT="bench_quick.txt"
+if [ "$1" = "--full" ]; then
+	MODE=""
+	OUT="bench_full.txt"
+fi
+
+echo "running syccl-bench ${MODE:-(full)} → $OUT"
+go run ./cmd/syccl-bench -run all $MODE | tee "$OUT"
+echo "done; paste the relevant rows into EXPERIMENTS.md"
