@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"syccl/internal/experiments"
+	"syccl/internal/obs"
 )
 
 type runner func(experiments.Config) (string, error)
@@ -124,6 +125,7 @@ func main() {
 	quick := flag.Bool("quick", false, "trimmed sweeps for fast runs")
 	budget := flag.Duration("teccl-budget", 0, "TECCL per-case budget (0: default)")
 	seed := flag.Int64("seed", 0, "random seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace covering every synthesis run (open in Perfetto)")
 	flag.Parse()
 
 	all := runners()
@@ -145,6 +147,9 @@ func main() {
 	}
 
 	cfg := experiments.Config{Quick: *quick, TECCLBudget: *budget, Seed: *seed}
+	if *tracePath != "" {
+		cfg.Obs = obs.NewRecorder()
+	}
 	targets := ids
 	if *run != "all" {
 		if _, ok := all[*run]; !ok {
@@ -162,5 +167,22 @@ func main() {
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "syccl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cfg.Obs.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "syccl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "syccl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *tracePath)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"syccl/internal/cli"
 	"syccl/internal/metrics"
 	"syccl/internal/mxml"
+	"syccl/internal/obs"
 	"syccl/internal/sim"
 	"syccl/internal/trace"
 )
@@ -26,6 +27,7 @@ func main() {
 	sizeSpec := flag.String("size", "", "aggregate data size for validation/busbw")
 	timeline := flag.Bool("timeline", false, "print a per-GPU activity chart and event log")
 	events := flag.Int("events", 20, "event-log rows with -timeline (0 = all)")
+	tracePath := flag.String("trace", "", "write the simulated timeline as Chrome trace JSON (open in Perfetto)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -61,13 +63,29 @@ func main() {
 	}
 
 	if *timeline {
-		tl := trace.Build(sched, res)
+		tl := trace.Build(top, sched, res)
 		fmt.Println()
 		fmt.Print(tl.Gantt(top, 72))
 		fmt.Println()
 		fmt.Print(tl.DimSummary(top, res))
 		fmt.Println()
 		fmt.Print(tl.EventLog(*events))
+	}
+
+	if *tracePath != "" {
+		rec := obs.NewRecorder()
+		trace.EmitChrome(rec, top, sched, res)
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *tracePath)
 	}
 
 	if *kind != "" && *sizeSpec != "" {

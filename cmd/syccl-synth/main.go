@@ -1,11 +1,12 @@
 // Command syccl-synth synthesizes a collective schedule with SyCCL (or a
 // baseline) and reports predicted performance; optionally it writes the
-// schedule as MSCCL-executor XML (§6).
+// schedule as MSCCL-executor XML (§6) and a Chrome trace of the run.
 //
 // Usage:
 //
 //	syccl-synth -topo a100x16 -collective allgather -size 64M -out ag.xml
 //	syccl-synth -topo h800x64 -collective alltoall -size 1G -system teccl
+//	syccl-synth -topo dgx4 -coll allgather -trace run.json   # open in Perfetto
 package main
 
 import (
@@ -19,14 +20,17 @@ import (
 	"syccl/internal/metrics"
 	"syccl/internal/mxml"
 	"syccl/internal/nccl"
+	"syccl/internal/obs"
 	"syccl/internal/schedule"
 	"syccl/internal/sim"
 	"syccl/internal/teccl"
+	"syccl/internal/trace"
 )
 
 func main() {
 	topoSpec := flag.String("topo", "a100x16", "topology spec")
 	kind := flag.String("collective", "allgather", "collective kind")
+	flag.StringVar(kind, "coll", "allgather", "alias for -collective")
 	sizeSpec := flag.String("size", "64M", "aggregate data size (e.g. 1K, 64M, 1G)")
 	system := flag.String("system", "syccl", "synthesizer: syccl | teccl | nccl")
 	out := flag.String("out", "", "write the schedule as MSCCL XML to this file")
@@ -36,6 +40,8 @@ func main() {
 	budget := flag.Duration("teccl-budget", 10*time.Second, "TECCL solve budget")
 	seed := flag.Int64("seed", 0, "random seed")
 	explain := flag.Bool("explain", false, "print the winning sketch combination in the paper's notation (syccl only)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the synthesis run (open in Perfetto)")
+	summary := flag.Bool("obs-summary", false, "print a span/counter summary of the run")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -56,32 +62,42 @@ func main() {
 		fail(err)
 	}
 
+	// Only pay for recording when an exporter will consume it.
+	var rec *obs.Recorder
+	if *tracePath != "" || *summary {
+		rec = obs.NewRecorder()
+	}
+
 	var sched *schedule.Schedule
 	var predicted float64
 	start := time.Now()
 	switch *system {
 	case "syccl":
-		res, err := core.Synthesize(top, col, core.Options{E1: *e1, E2: *e2, Workers: *workers, Seed: *seed})
+		res, err := core.Synthesize(top, col, core.Options{E1: *e1, E2: *e2, Workers: *workers, Seed: *seed, Obs: rec})
 		if err != nil {
 			fail(err)
 		}
 		sched, predicted = res.Schedule, res.Time
-		fmt.Printf("phases: search=%v combine=%v solve1=%v solve2=%v (sketches=%d candidates=%d solves=%d cache-hits=%d)\n",
+		fmt.Printf("phases: search=%v combine=%v solve1=%v solve2=%v (sketches=%d candidates=%d solves=%d cache-hits=%d cache-misses=%d)\n",
 			res.Phases.Search.Round(time.Microsecond), res.Phases.Combine.Round(time.Microsecond),
 			res.Phases.Solve1.Round(time.Millisecond), res.Phases.Solve2.Round(time.Millisecond),
-			res.Stats.Sketches, res.Stats.Candidates, res.Stats.SolverCalls, res.Stats.CacheHits)
+			res.Stats.Sketches, res.Stats.Candidates, res.Stats.SolverCalls, res.Stats.CacheHits, res.Stats.CacheMisses)
 		if *explain && res.Combination != nil {
 			fmt.Print(res.Combination.DescribeCombination(top))
 		}
 	case "teccl":
-		res, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: *budget, Seed: *seed})
+		res, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: *budget, Seed: *seed, Rec: rec})
 		if err != nil {
 			fail(err)
 		}
 		sched, predicted = res.Schedule, res.Time
 		fmt.Printf("teccl: %d greedy rounds within %v budget\n", res.Rounds, *budget)
 	case "nccl":
-		s, t, err := nccl.Schedule(top, col, sim.DefaultOptions())
+		sp := rec.StartSpan("nccl.schedule")
+		so := sim.DefaultOptions()
+		so.Rec = rec
+		s, t, err := nccl.Schedule(top, col, so)
+		sp.End()
 		if err != nil {
 			fail(err)
 		}
@@ -95,6 +111,31 @@ func main() {
 	fmt.Printf("%s %s on %s (%s): %d transfers, predicted %.3gs, busbw %.1f GBps, synthesized in %v\n",
 		*system, col.Kind, top.Name, *sizeSpec, len(sched.Transfers), predicted, bus/1e9,
 		synthTime.Round(time.Millisecond))
+
+	if rec != nil {
+		// Re-simulate the winning schedule so the trace also carries its
+		// per-link timeline next to the synthesis spans.
+		if res, err := sim.Simulate(top, sched, sim.DefaultOptions()); err == nil {
+			trace.EmitChrome(rec, top, sched, res)
+		}
+	}
+	if *summary {
+		fmt.Println()
+		fmt.Print(rec.Summary())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *tracePath)
+	}
 
 	if *out != "" {
 		data, err := mxml.Marshal(sched, mxml.Params{Name: fmt.Sprintf("%s-%s-%s", *system, *kind, *sizeSpec)})

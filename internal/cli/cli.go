@@ -17,9 +17,12 @@ import (
 //	h800x64 | h800x512         — the H800 rail clusters (Fig 13b)
 //	h800small                  — the §7.4 scaled-down 24-GPU cluster
 //	server8                    — one 8-GPU NVSwitch server
+//	dgx4                       — one 4-GPU NVSwitch server
 //	fig3 | fig19 | fig20       — the worked-example topologies
 func ParseTopology(spec string) (*topology.Topology, error) {
 	switch strings.ToLower(spec) {
+	case "dgx4":
+		return topology.SingleServer(4), nil
 	case "a100x16":
 		return topology.A100Clos(2), nil
 	case "a100x32":
@@ -41,7 +44,7 @@ func ParseTopology(spec string) (*topology.Topology, error) {
 	case "fig20":
 		return topology.Fig20(), nil
 	default:
-		return nil, fmt.Errorf("unknown topology %q (try a100x16, a100x32, h800x64, h800x512, h800small, server8, fig3, fig19, fig20)", spec)
+		return nil, fmt.Errorf("unknown topology %q (try a100x16, a100x32, h800x64, h800x512, h800small, server8, dgx4, fig3, fig19, fig20)", spec)
 	}
 }
 

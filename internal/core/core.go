@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"syccl/internal/collective"
+	"syccl/internal/obs"
 	"syccl/internal/schedule"
 	"syccl/internal/sim"
 	"syccl/internal/sketch"
@@ -47,6 +48,11 @@ type Options struct {
 	DisableIsomorphCache bool
 	// Sim configures the ranking simulator.
 	Sim sim.Options
+	// Obs optionally records the run: hierarchical spans over every
+	// pipeline phase, solver and cache counters, and per-candidate
+	// timings, exportable as a Chrome trace (internal/obs). Nil disables
+	// all instrumentation at zero cost.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +80,16 @@ func (o Options) withDefaults() Options {
 	if o.SolveTimeLimit <= 0 {
 		o.SolveTimeLimit = 500 * time.Millisecond
 	}
+	// Fan the recorder out to the sub-systems that accept one, unless the
+	// caller wired its own.
+	if o.Obs != nil {
+		if o.Sim.Rec == nil {
+			o.Sim.Rec = o.Obs
+		}
+		if o.Search.Rec == nil {
+			o.Search.Rec = o.Obs
+		}
+	}
 	return o
 }
 
@@ -95,6 +111,7 @@ type Stats struct {
 	Refined     int           // combinations refined in the fine pass
 	SolverCalls int           // sub-demand solves actually executed
 	CacheHits   int           // sub-demands served by isomorphism mapping
+	CacheMisses int           // sub-demands that fell through to a solver call
 	MaxSolve    time.Duration // longest single sub-demand solve (Fig 17c)
 }
 

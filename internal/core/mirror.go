@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"syccl/internal/collective"
+	"syccl/internal/obs"
 	"syccl/internal/schedule"
 	"syccl/internal/sim"
 	"syccl/internal/topology"
@@ -85,16 +86,17 @@ func mirrorSchedule(fwd *schedule.Schedule, fwdCol, col *collective.Collective) 
 // AllGather over n-th sized slices, concatenated with per-GPU phase
 // dependencies. The AllGather pipeline runs once; the ReduceScatter phase
 // reuses its mirror.
-func synthesizeAllReduce(top *topology.Topology, col *collective.Collective, opts Options) (*Result, error) {
+func synthesizeAllReduce(top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span) (*Result, error) {
 	n := col.NumGPUs
 	per := col.ChunkSize // collective.AllReduce stores the per-slice size
 	agCol := collective.AllGather(n, per)
 	rsCol := collective.ReduceScatter(n, per)
 
-	agRes, err := synthesizeForward(top, agCol, opts)
+	agRes, err := synthesizeForward(top, agCol, opts, parent)
 	if err != nil {
 		return nil, err
 	}
+	ms := parent.Child("mirror")
 	rs := mirrorSchedule(agRes.Schedule, agCol, rsCol)
 	if err := rs.Validate(rsCol); err != nil {
 		return nil, fmt.Errorf("core: ReduceScatter phase invalid: %w", err)
@@ -102,6 +104,7 @@ func synthesizeAllReduce(top *topology.Topology, col *collective.Collective, opt
 
 	full := schedule.Concat(rs, agRes.Schedule)
 	r, err := sim.Simulate(top, full, opts.Sim)
+	ms.End()
 	if err != nil {
 		return nil, err
 	}

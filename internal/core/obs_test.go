@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"syccl/internal/collective"
+	"syccl/internal/obs"
+	"syccl/internal/topology"
+)
+
+// An attached recorder must capture the full pipeline: phase spans,
+// per-candidate and per-worker solve spans, and the cache/sketch
+// counters, all consistent with the Stats the result reports.
+func TestSynthesizeRecordsSpansAndCounters(t *testing.T) {
+	top := topology.A100Clos(2)
+	col := collective.AllGather(top.NumGPUs(), 1<<20)
+	rec := obs.NewRecorder()
+	res, err := Synthesize(top, col, Options{Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := map[string]int{}
+	for _, s := range rec.Spans() {
+		names[s.Name]++
+	}
+	for _, want := range []string{
+		"synthesize", "search", "sketch.search", "combine",
+		"solve.coarse", "solve.fine", "candidate", "solve.subdemand", "sim.simulate",
+	} {
+		if names[want] == 0 {
+			t.Errorf("no span named %q recorded (got %v)", want, names)
+		}
+	}
+
+	counters := rec.Counters()
+	if got, want := counters["cache.hits"], float64(res.Stats.CacheHits); got != want {
+		t.Errorf("cache.hits counter %g != Stats.CacheHits %g", got, want)
+	}
+	if got, want := counters["cache.misses"], float64(res.Stats.CacheMisses); got != want {
+		t.Errorf("cache.misses counter %g != Stats.CacheMisses %g", got, want)
+	}
+	if res.Stats.CacheMisses != res.Stats.SolverCalls {
+		t.Errorf("CacheMisses %d != SolverCalls %d (a miss is exactly one real solve)",
+			res.Stats.CacheMisses, res.Stats.SolverCalls)
+	}
+	if res.Stats.CacheMisses == 0 {
+		t.Error("expected at least one cache miss on a fresh run")
+	}
+	// Every counter series is seeded so traces always carry them.
+	for _, want := range []string{"lp.pivots", "milp.nodes", "sketch.nodes", "sim.events", "candidates.pruned"} {
+		if _, ok := counters[want]; !ok {
+			t.Errorf("counter series %q missing", want)
+		}
+	}
+	if counters["sim.events"] <= 0 {
+		t.Error("sim.events counter never advanced")
+	}
+
+	// The recorder must export as valid JSON end-to-end.
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+}
+
+// A second Synthesize call with a nil recorder must behave identically —
+// instrumentation must not leak into results.
+func TestNilRecorderSameResult(t *testing.T) {
+	top := topology.SingleServer(8)
+	col := collective.AllGather(8, 1<<20)
+	withRec, err := Synthesize(top, col, Options{Obs: obs.NewRecorder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Synthesize(top, col, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRec.Time != without.Time {
+		t.Errorf("recorder changed the result: %g vs %g", withRec.Time, without.Time)
+	}
+	if withRec.Stats.CacheHits != without.Stats.CacheHits ||
+		withRec.Stats.CacheMisses != without.Stats.CacheMisses {
+		t.Errorf("recorder changed cache stats: %+v vs %+v", withRec.Stats, without.Stats)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"syccl/internal/collective"
 	"syccl/internal/isomorph"
 	"syccl/internal/nccl"
+	"syccl/internal/obs"
 	"syccl/internal/schedule"
 	"syccl/internal/sim"
 	"syccl/internal/sketch"
@@ -30,9 +31,16 @@ func Synthesize(top *topology.Topology, col *collective.Collective, opts Options
 		return nil, fmt.Errorf("core: collective spans %d GPUs, topology has %d", col.NumGPUs, top.NumGPUs())
 	}
 
+	root := opts.Obs.StartSpan("synthesize")
+	root.SetStr("topology", top.Name)
+	root.SetStr("collective", col.Kind.String())
+	root.SetInt("gpus", int64(top.NumGPUs()))
+	defer root.End()
+	seedCounters(opts.Obs)
+
 	switch col.Kind {
 	case collective.KindAllReduce:
-		return synthesizeAllReduce(top, col, opts)
+		return synthesizeAllReduce(top, col, opts, root)
 	}
 
 	forwardKind, mirrored := kindForward(col.Kind)
@@ -41,13 +49,15 @@ func Synthesize(top *topology.Topology, col *collective.Collective, opts Options
 		forwardCol = forwardCollective(col, forwardKind)
 	}
 
-	res, err := synthesizeForward(top, forwardCol, opts)
+	res, err := synthesizeForward(top, forwardCol, opts, root)
 	if err != nil {
 		return nil, err
 	}
 	if mirrored {
+		ms := root.Child("mirror")
 		res.Schedule = mirrorSchedule(res.Schedule, forwardCol, col)
 		r, err := sim.Simulate(top, res.Schedule, opts.Sim)
+		ms.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: mirrored schedule: %w", err)
 		}
@@ -56,13 +66,30 @@ func Synthesize(top *topology.Topology, col *collective.Collective, opts Options
 	return res, nil
 }
 
+// seedCounters registers the pipeline's counter series with an initial
+// zero sample, so exported traces carry every series even when a fast
+// path (rotation solves, cached demands) leaves one untouched.
+func seedCounters(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	for _, name := range []string{
+		"cache.hits", "cache.misses", "lp.pivots", "milp.nodes",
+		"sketch.nodes", "sketch.emitted", "candidates", "candidates.pruned",
+		"sim.events",
+	} {
+		rec.Count(name, 0)
+	}
+}
+
 // synthesizeForward runs the two-phase pipeline for forward (non-reduce)
-// collectives.
-func synthesizeForward(top *topology.Topology, col *collective.Collective, opts Options) (*Result, error) {
+// collectives. The parent span (nil-safe) roots the per-phase spans.
+func synthesizeForward(top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span) (*Result, error) {
 	res := &Result{}
 	cache := newSolveCache(opts)
 
 	// Phase 1a: sketch search (§4.1).
+	searchSpan := parent.Child("search")
 	t0 := time.Now()
 	var sketches []*sketch.Sketch
 	allToAll := false
@@ -71,6 +98,7 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 		// One-to-one needs no sketch machinery: the shortest route —
 		// direct if a dimension connects the pair, otherwise a PXN-style
 		// relay — is optimal under the port model.
+		searchSpan.End()
 		sched, err := sendRecvSchedule(top, col)
 		if err != nil {
 			return nil, err
@@ -94,6 +122,8 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	default:
 		return nil, fmt.Errorf("core: unsupported forward collective %v", col.Kind)
 	}
+	searchSpan.SetInt("sketches", int64(len(sketches)))
+	searchSpan.End()
 	if len(sketches) == 0 {
 		return nil, fmt.Errorf("core: no sketches found for %v on %s", col.Kind, top.Name)
 	}
@@ -101,10 +131,14 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	res.Stats.Sketches = len(sketches)
 
 	// Phase 1b: combinations (§4.2, §4.3).
+	combineSpan := parent.Child("combine")
 	t0 = time.Now()
 	combos := buildCombinations(top, col, sketches, allToAll, opts)
 	res.Phases.Combine = time.Since(t0)
 	res.Stats.Candidates = len(combos)
+	combineSpan.SetInt("candidates", int64(len(combos)))
+	combineSpan.End()
+	opts.Obs.Count("candidates", float64(len(combos)))
 	if len(combos) == 0 {
 		return nil, fmt.Errorf("core: no sketch combinations for %v", col.Kind)
 	}
@@ -113,6 +147,7 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	// trades accuracy for speed twice over: large epochs (E1) and the
 	// greedy engine; the fine pass then runs the configured engine
 	// (exact MILP where tractable) on the surviving candidates (§5.3).
+	coarseSpan := parent.Child("solve.coarse")
 	t0 = time.Now()
 	e1, eng1 := opts.E1, solve.EngineGreedy
 	if opts.DisableTwoStep {
@@ -122,15 +157,23 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 		eng1 = opts.Engine
 	}
 	cands := make([]*candidate, 0, len(combos))
-	for _, combo := range combos {
-		sched, err := realizeCombo(top, col, combo, e1, eng1, opts, cache, &res.Stats)
+	for ci, combo := range combos {
+		cs := coarseSpan.Child("candidate")
+		cs.SetInt("index", int64(ci))
+		sched, err := realizeCombo(top, col, combo, e1, eng1, opts, cache, &res.Stats, cs)
 		if err != nil {
+			cs.SetStr("outcome", "unrealizable")
+			cs.End()
 			continue // a candidate may be unrealizable; skip it
 		}
 		r, err := sim.Simulate(top, sched, opts.Sim)
 		if err != nil {
+			cs.SetStr("outcome", "sim-failed")
+			cs.End()
 			continue
 		}
+		cs.SetFloat("time", r.Time)
+		cs.End()
 		cands = append(cands, &candidate{combo: combo, sched: sched, time: r.Time})
 	}
 	// The ring family lives in the untruncated sketch space (K up to
@@ -145,6 +188,8 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 		}
 	}
 	res.Phases.Solve1 = time.Since(t0)
+	coarseSpan.SetInt("realized", int64(len(cands)))
+	coarseSpan.End()
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("core: all %d candidates failed to realize", len(combos))
 	}
@@ -165,24 +210,35 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 		}
 	}
 	res.Stats.Refined = len(keep)
+	opts.Obs.Count("candidates.pruned", float64(len(cands)-len(keep)))
 
 	// Phase 2b: fine synthesis of the survivors.
+	fineSpan := parent.Child("solve.fine")
+	fineSpan.SetInt("survivors", int64(len(keep)))
 	t0 = time.Now()
 	best := keep[0]
 	bestTime := best.time
 	bestSched := best.sched
-	for _, c := range keep {
+	for ci, c := range keep {
 		if c.combo == nil {
 			continue // injected fixed schedule: nothing to refine
 		}
-		sched, err := realizeCombo(top, col, c.combo, opts.E2, opts.Engine, opts, cache, &res.Stats)
+		cs := fineSpan.Child("candidate")
+		cs.SetInt("index", int64(ci))
+		sched, err := realizeCombo(top, col, c.combo, opts.E2, opts.Engine, opts, cache, &res.Stats, cs)
 		if err != nil {
+			cs.SetStr("outcome", "unrealizable")
+			cs.End()
 			continue
 		}
 		r, err := sim.Simulate(top, sched, opts.Sim)
 		if err != nil {
+			cs.SetStr("outcome", "sim-failed")
+			cs.End()
 			continue
 		}
+		cs.SetFloat("time", r.Time)
+		cs.End()
 		if r.Time < bestTime {
 			bestTime = r.Time
 			bestSched = sched
@@ -190,6 +246,7 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 		}
 	}
 	res.Phases.Solve2 = time.Since(t0)
+	fineSpan.End()
 	res.Schedule, res.Time, res.Combination = bestSched, bestTime, best.combo
 	return res, validateForward(res.Schedule, col)
 }
@@ -233,9 +290,11 @@ func validateForward(s *schedule.Schedule, col *collective.Collective) error {
 }
 
 // realizeCombo solves the combination's merged sub-demands (in parallel,
-// deduplicated by isomorphism class) and assembles the schedule.
+// deduplicated by isomorphism class) and assembles the schedule. The
+// span (nil-safe) parents one per-worker sub-span per representative
+// solve, each on its own trace lane.
 func realizeCombo(top *topology.Topology, col *collective.Collective, combo *sketch.Combination,
-	e float64, engine solve.Engine, opts Options, cache *solveCache, stats *Stats) (*schedule.Schedule, error) {
+	e float64, engine solve.Engine, opts Options, cache *solveCache, stats *Stats, span *obs.Span) (*schedule.Schedule, error) {
 
 	a, err := newAssembly(top, col, combo)
 	if err != nil {
@@ -285,9 +344,19 @@ func realizeCombo(top *topology.Topology, col *collective.Collective, combo *ske
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			ws := span.ChildLane("solve.subdemand")
+			ws.SetInt("demand", int64(i))
+			so := solveOpts
+			so.Span = ws
 			start := time.Now()
-			sub, hit, err := cache.solve(demands[i], solveOpts)
+			sub, hit, err := cache.solve(demands[i], so)
 			dur := time.Since(start)
+			if hit {
+				ws.SetStr("cache", "hit")
+			} else {
+				ws.SetStr("cache", "miss")
+			}
+			ws.End()
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -299,8 +368,11 @@ func realizeCombo(top *topology.Topology, col *collective.Collective, combo *ske
 			solved[i] = sub
 			if hit {
 				stats.CacheHits++
+				opts.Obs.Count("cache.hits", 1)
 			} else {
 				stats.SolverCalls++
+				stats.CacheMisses++
+				opts.Obs.Count("cache.misses", 1)
 				if dur > stats.MaxSolve {
 					stats.MaxSolve = dur
 				}
@@ -326,6 +398,7 @@ func realizeCombo(top *topology.Topology, col *collective.Collective, combo *ske
 		} else {
 			bycell[k] = isomorph.MapSchedule(solved[r], mapFromRep[i])
 			stats.CacheHits++
+			opts.Obs.Count("cache.hits", 1)
 		}
 	}
 	return a.build(bycell)

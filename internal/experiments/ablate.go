@@ -36,16 +36,13 @@ func Fig17a(cfg Config) ([]PruneRow, error) {
 	for _, size := range cfg.Sizes {
 		for _, mode := range []struct{ p1, p2 bool }{{false, false}, {false, true}, {true, false}, {true, true}} {
 			col := collective.AllGather(n, size/float64(n))
-			opts := core.Options{
-				Seed:    cfg.Seed,
-				Workers: cfg.Workers,
-				Search: sketch.SearchOptions{
-					DisablePrune1: !mode.p1,
-					DisablePrune2: !mode.p2,
-					// With prunings off the space explodes; the paper's
-					// runs also bound exploration, via solver timeouts.
-					MaxSketches: 256,
-				},
+			opts := cfg.coreOptions()
+			opts.Search = sketch.SearchOptions{
+				DisablePrune1: !mode.p1,
+				DisablePrune2: !mode.p2,
+				// With prunings off the space explodes; the paper's
+				// runs also bound exploration, via solver timeouts.
+				MaxSketches: 256,
 			}
 			start := time.Now()
 			res, err := core.Synthesize(top, col, opts)
@@ -99,11 +96,8 @@ func Fig17b(cfg Config) ([]StageRow, error) {
 	for _, size := range cfg.Sizes {
 		for _, limit := range stageLimits {
 			col := collective.AlltoAll(n, size/float64(n*(n-1)))
-			opts := core.Options{
-				Seed:    cfg.Seed,
-				Workers: cfg.Workers,
-				Search:  sketch.SearchOptions{MaxStages: limit, MaxSketches: 128},
-			}
+			opts := cfg.coreOptions()
+			opts.Search = sketch.SearchOptions{MaxStages: limit, MaxSketches: 128}
 			start := time.Now()
 			res, err := core.Synthesize(top, col, opts)
 			if err != nil {
@@ -149,7 +143,9 @@ func Fig17c(cfg Config) ([]E2Row, error) {
 	for _, size := range cfg.Sizes {
 		for _, e2 := range []float64{0.1, 0.2, 1} {
 			col := collective.AllGather(n, size/float64(n))
-			res, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers, E2: e2})
+			opts := cfg.coreOptions()
+			opts.E2 = e2
+			res, err := core.Synthesize(top, col, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -64,14 +64,14 @@ func Table6(cfg Config) ([]Table6Row, error) {
 			return t, err
 		})
 		tecclTimer := memo(func(col *collective.Collective) (float64, error) {
-			res, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: cfg.TECCLBudget, Seed: cfg.Seed})
+			res, err := teccl.Synthesize(top, col, cfg.tecclOptions())
 			if err != nil {
 				return 0, err
 			}
 			return res.Time, nil
 		})
 		sycclTimer := memo(func(col *collective.Collective) (float64, error) {
-			res, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+			res, err := core.Synthesize(top, col, cfg.coreOptions())
 			if err != nil {
 				return 0, err
 			}

@@ -20,6 +20,7 @@ import (
 	"syccl/internal/core"
 	"syccl/internal/metrics"
 	"syccl/internal/nccl"
+	"syccl/internal/obs"
 	"syccl/internal/sim"
 	"syccl/internal/teccl"
 	"syccl/internal/topology"
@@ -39,6 +40,20 @@ type Config struct {
 	Seed int64
 	// Workers for SyCCL's parallel solving (0 = GOMAXPROCS).
 	Workers int
+	// Obs optionally records every synthesis run in the experiment
+	// (spans, counters) for Chrome-trace export. Nil disables recording.
+	Obs *obs.Recorder
+}
+
+// coreOptions builds the core.Options shared by every SyCCL run in an
+// experiment; callers override the knob under study.
+func (c Config) coreOptions() core.Options {
+	return core.Options{Seed: c.Seed, Workers: c.Workers, Obs: c.Obs}
+}
+
+// tecclOptions builds the teccl.Options shared by every TECCL run.
+func (c Config) tecclOptions() teccl.Options {
+	return teccl.Options{TimeBudget: c.TECCLBudget, Seed: c.Seed, Rec: c.Obs}
 }
 
 func (c Config) withDefaults() Config {
@@ -182,7 +197,7 @@ func perfSweep(id, title string, top *topology.Topology, kind collective.Kind,
 
 		// SyCCL.
 		start := time.Now()
-		res, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+		res, err := core.Synthesize(top, col, cfg.coreOptions())
 		if err != nil {
 			return nil, fmt.Errorf("%s: syccl %s: %w", id, SizeLabel(size), err)
 		}
@@ -191,7 +206,7 @@ func perfSweep(id, title string, top *topology.Topology, kind collective.Kind,
 
 		// TECCL.
 		if withTECCL {
-			tres, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: cfg.TECCLBudget, Seed: cfg.Seed})
+			tres, err := teccl.Synthesize(top, col, cfg.tecclOptions())
 			if err == nil {
 				row.TECCL = metrics.BusBandwidth(kind, n, size, tres.Time)
 				row.TECCLSynth = tres.Spent

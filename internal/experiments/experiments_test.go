@@ -58,6 +58,9 @@ func TestFig15aShape(t *testing.T) {
 }
 
 func TestFig16aSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock speedup comparison is unreliable under the race detector")
+	}
 	cfg := quick()
 	series, err := Fig16a(cfg)
 	if err != nil {
@@ -118,6 +121,9 @@ func TestFig16cRuns(t *testing.T) {
 }
 
 func TestTable5Quick(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock speedup comparison is unreliable under the race detector")
+	}
 	cfg := quick()
 	cfg.Sizes = []float64{1 << 20}
 	// The budget stands in for the paper's hours-scale timeout; it must

@@ -77,7 +77,7 @@ func craftedSweep(id, title string, top *topology.Topology, cfg Config, includeI
 		row.Crafted = metrics.BusBandwidth(col.Kind, n, size, ct)
 
 		start := time.Now()
-		res, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+		res, err := core.Synthesize(top, col, cfg.coreOptions())
 		if err != nil {
 			return nil, err
 		}

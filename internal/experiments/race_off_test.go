@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; wall-clock
+// comparisons (SyCCL vs TECCL synthesis time) are skipped under it
+// because instrumentation slows the two systems unevenly.
+const raceEnabled = false

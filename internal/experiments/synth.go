@@ -54,13 +54,13 @@ func synthSweep(id, title string, top *topology.Topology, kind collective.Kind, 
 		row := SynthRow{Bytes: size}
 
 		start := time.Now()
-		if _, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers}); err != nil {
+		if _, err := core.Synthesize(top, col, cfg.coreOptions()); err != nil {
 			return nil, fmt.Errorf("%s: syccl %s: %w", id, SizeLabel(size), err)
 		}
 		row.SyCCL = time.Since(start)
 
 		if withTECCL {
-			tres, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: cfg.TECCLBudget, Seed: cfg.Seed})
+			tres, err := teccl.Synthesize(top, col, cfg.tecclOptions())
 			if err == nil {
 				row.TECCL = tres.Spent
 				row.TECCLValid = true
@@ -104,7 +104,7 @@ func Fig16b(cfg Config) ([]BreakdownRow, error) {
 	for _, kind := range []collective.Kind{collective.KindAllGather, collective.KindAlltoAll} {
 		for _, size := range cfg.Sizes {
 			col := buildCollective(kind, top.NumGPUs(), size)
-			res, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+			res, err := core.Synthesize(top, col, cfg.coreOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -158,7 +158,9 @@ func Fig16c(cfg Config) ([]WorkerRow, error) {
 		for _, w := range workers {
 			col := collective.AllGather(top.NumGPUs(), size/float64(top.NumGPUs()))
 			start := time.Now()
-			if _, err := core.Synthesize(top, col, core.Options{Seed: cfg.Seed, Workers: w}); err != nil {
+			opts := cfg.coreOptions()
+			opts.Workers = w
+			if _, err := core.Synthesize(top, col, opts); err != nil {
 				return nil, err
 			}
 			out = append(out, WorkerRow{Workers: w, Bytes: size, SyCCL: time.Since(start)})
@@ -212,7 +214,7 @@ func Table5(cfg Config) ([]Table5Row, error) {
 		for _, size := range sizes {
 			col := buildCollective(sc.kind, sc.top.NumGPUs(), size)
 			start := time.Now()
-			if _, err := core.Synthesize(sc.top, col, core.Options{Seed: cfg.Seed, Workers: cfg.Workers}); err != nil {
+			if _, err := core.Synthesize(sc.top, col, cfg.coreOptions()); err != nil {
 				return nil, fmt.Errorf("table5 %s: %w", sc.name, err)
 			}
 			d := time.Since(start)
@@ -221,7 +223,7 @@ func Table5(cfg Config) ([]Table5Row, error) {
 			sSum += d
 			sN++
 			if sc.withTECCL {
-				tres, err := teccl.Synthesize(sc.top, col, teccl.Options{TimeBudget: cfg.TECCLBudget, Seed: cfg.Seed})
+				tres, err := teccl.Synthesize(sc.top, col, cfg.tecclOptions())
 				if err == nil {
 					row.TECCLMin = minD(row.TECCLMin, tres.Spent)
 					row.TECCLMax = maxD(row.TECCLMax, tres.Spent)

@@ -87,6 +87,7 @@ type Solution struct {
 	X         []float64
 	Objective float64
 	Nodes     int     // branch-and-bound nodes explored
+	LPIters   int     // simplex pivots summed over all node relaxations
 	Bound     float64 // best lower bound on the optimum
 }
 
@@ -178,6 +179,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 			// Empty bounds from branching: infeasible child.
 			continue
 		}
+		sol.LPIters += ls.Iters
 		switch ls.Status {
 		case lp.StatusInfeasible:
 			continue

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Chrome trace-event export (the JSON format Perfetto and chrome://tracing
+// load). Spans become complete ("X") events in process 1, one thread per
+// lane; counters become counter ("C") events; injected Complete events
+// (the simulated per-link timeline) become additional processes with one
+// thread per link. Process and thread IDs are assigned deterministically
+// from sorted names so the output is stable for golden tests.
+
+const (
+	pidPipeline = 1
+	pidExtras   = 2 // first pid for injected processes
+)
+
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"` // microseconds
+	Dur  *float64               `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / 1e3 }
+
+func attrArgs(attrs []Attr) map[string]interface{} {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]interface{}, len(attrs))
+	for _, a := range attrs {
+		args[a.Key] = a.Value()
+	}
+	return args
+}
+
+func metaEvent(name string, pid, tid int, value string) chromeEvent {
+	return chromeEvent{Name: name, Ph: "M", PID: pid, TID: tid, Args: map[string]interface{}{"name": value}}
+}
+
+// WriteChromeTrace writes everything the recorder holds as Chrome
+// trace-event JSON. Non-metadata events are sorted by timestamp, so the
+// stream is monotonic.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: cannot export a nil recorder")
+	}
+	r.mu.Lock()
+	spans := append([]SpanRecord(nil), r.spans...)
+	samples := append([]Sample(nil), r.samples...)
+	extras := append([]Complete(nil), r.extras...)
+	r.mu.Unlock()
+
+	var meta, events []chromeEvent
+
+	// Process 1: the synthesis pipeline (spans + counters).
+	meta = append(meta, metaEvent("process_name", pidPipeline, 0, "syccl synthesis"))
+	lanes := map[int32]bool{}
+	for _, s := range spans {
+		lanes[s.Lane] = true
+	}
+	laneIDs := make([]int32, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Slice(laneIDs, func(a, b int) bool { return laneIDs[a] < laneIDs[b] })
+	for _, l := range laneIDs {
+		name := "pipeline"
+		if l != 0 {
+			name = fmt.Sprintf("worker %02d", l)
+		}
+		meta = append(meta, metaEvent("thread_name", pidPipeline, int(l), name))
+	}
+	for _, s := range spans {
+		dur := micros(s.End - s.Start)
+		args := attrArgs(s.Attrs)
+		if s.Parent != "" {
+			if args == nil {
+				args = map[string]interface{}{}
+			}
+			args["parent"] = s.Parent
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X", TS: micros(s.Start), Dur: &dur,
+			PID: pidPipeline, TID: int(s.Lane), Args: args,
+		})
+	}
+	for _, c := range samples {
+		events = append(events, chromeEvent{
+			Name: c.Name, Ph: "C", TS: micros(c.At), PID: pidPipeline, TID: 0,
+			Args: map[string]interface{}{"value": c.Value},
+		})
+	}
+
+	// Injected processes: deterministic pids/tids from sorted names.
+	procNames := make([]string, 0)
+	threads := map[string][]string{}
+	seenThread := map[string]bool{}
+	for _, e := range extras {
+		if _, ok := threads[e.Process]; !ok {
+			procNames = append(procNames, e.Process)
+			threads[e.Process] = nil
+		}
+		key := e.Process + "\x00" + e.Thread
+		if !seenThread[key] {
+			seenThread[key] = true
+			threads[e.Process] = append(threads[e.Process], e.Thread)
+		}
+	}
+	sort.Strings(procNames)
+	pidOf := map[string]int{}
+	tidOf := map[string]int{}
+	for i, p := range procNames {
+		pid := pidExtras + i
+		pidOf[p] = pid
+		meta = append(meta, metaEvent("process_name", pid, 0, p))
+		sort.Strings(threads[p])
+		for t, th := range threads[p] {
+			tidOf[p+"\x00"+th] = t
+			meta = append(meta, metaEvent("thread_name", pid, t, th))
+		}
+	}
+	for _, e := range extras {
+		dur := e.Dur * 1e6
+		events = append(events, chromeEvent{
+			Name: e.Name, Ph: "X", TS: e.Start * 1e6, Dur: &dur,
+			PID: pidOf[e.Process], TID: tidOf[e.Process+"\x00"+e.Thread],
+			Args: attrArgs(e.Attrs),
+		})
+	}
+
+	sort.SliceStable(events, func(a, b int) bool { return events[a].TS < events[b].TS })
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, events...)})
+}
+
+// Summary renders spans (aggregated by name) and final counter values as
+// plain text — the quick look that doesn't need Perfetto.
+func (r *Recorder) Summary() string {
+	if r == nil {
+		return "(observability off)\n"
+	}
+	r.mu.Lock()
+	spans := append([]SpanRecord(nil), r.spans...)
+	counters := make(map[string]float64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	r.mu.Unlock()
+
+	type agg struct {
+		count int
+		total time.Duration
+		max   time.Duration
+	}
+	byName := map[string]*agg{}
+	var names []string
+	for _, s := range spans {
+		a := byName[s.Name]
+		if a == nil {
+			a = &agg{}
+			byName[s.Name] = a
+			names = append(names, s.Name)
+		}
+		d := s.End - s.Start
+		a.count++
+		a.total += d
+		if d > a.max {
+			a.max = d
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans:\n")
+	fmt.Fprintf(&b, "  %-24s %8s %14s %14s\n", "name", "count", "total", "max")
+	for _, n := range names {
+		a := byName[n]
+		fmt.Fprintf(&b, "  %-24s %8d %14s %14s\n", n, a.count,
+			a.total.Round(time.Microsecond), a.max.Round(time.Microsecond))
+	}
+	var cnames []string
+	for n := range counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	fmt.Fprintf(&b, "counters:\n")
+	for _, n := range cnames {
+		fmt.Fprintf(&b, "  %-24s %g\n", n, counters[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// decoded mirrors the subset of the trace-event format the tests check.
+type decoded struct {
+	TraceEvents []struct {
+		Name string                 `json:"name"`
+		Ph   string                 `json:"ph"`
+		TS   float64                `json:"ts"`
+		Dur  *float64               `json:"dur"`
+		PID  int                    `json:"pid"`
+		TID  int                    `json:"tid"`
+		Args map[string]interface{} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceWellFormedAndMonotonic(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartSpan("synthesize")
+	rec.Count("cache.hits", 0)
+	search := root.Child("search")
+	search.SetInt("sketches", 12)
+	search.End()
+	w1 := root.ChildLane("solve.subdemand")
+	rec.Count("lp.pivots", 40)
+	w1.End()
+	rec.Count("cache.hits", 3)
+	root.End()
+	rec.Emit(Complete{Process: "schedule:test", Thread: "gpu000 p0", Name: "0→1",
+		Start: 1e-6, Dur: 2e-6, Attrs: []Attr{Int("bytes", 1024)}})
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d decoded
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(d.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	lastTS := -1.0
+	sawMetaTail := false
+	names := map[string]bool{}
+	for _, e := range d.TraceEvents {
+		names[e.Name] = true
+		switch e.Ph {
+		case "M":
+			if sawMetaTail {
+				t.Fatal("metadata event after timed events")
+			}
+			continue
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("X event %q with missing/negative dur", e.Name)
+			}
+		case "C":
+			if _, ok := e.Args["value"]; !ok {
+				t.Fatalf("counter %q without value arg", e.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		sawMetaTail = true
+		if e.TS < 0 {
+			t.Fatalf("negative timestamp on %q", e.Name)
+		}
+		if e.TS < lastTS {
+			t.Fatalf("timestamps not monotonic: %q at %g after %g", e.Name, e.TS, lastTS)
+		}
+		lastTS = e.TS
+	}
+	for _, want := range []string{"synthesize", "search", "solve.subdemand", "cache.hits", "lp.pivots", "0→1"} {
+		if !names[want] {
+			t.Errorf("trace missing event %q", want)
+		}
+	}
+	// The injected timeline gets its own process with a named thread.
+	if !strings.Contains(buf.String(), "schedule:test") || !strings.Contains(buf.String(), "gpu000 p0") {
+		t.Error("injected process/thread names not exported")
+	}
+}
+
+// Golden: a recorder holding only injected (externally timed) events is
+// fully deterministic, so the exported JSON must match byte-for-byte.
+func TestChromeTraceGolden(t *testing.T) {
+	rec := NewRecorder()
+	rec.Emit(Complete{Process: "schedule:fig3", Thread: "gpu001 p0", Name: "1→2",
+		Start: 0, Dur: 3.5e-6, Attrs: []Attr{Int("bytes", 4096), Str("dim", "nvswitch")}})
+	rec.Emit(Complete{Process: "schedule:fig3", Thread: "gpu000 p0", Name: "0→1",
+		Start: 1e-6, Dur: 2e-6, Attrs: []Attr{Float("finish", 3e-6)}})
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	want, err := os.ReadFile(golden)
+	if os.IsNotExist(err) || os.Getenv("UPDATE_GOLDEN") != "" {
+		if werr := os.MkdirAll("testdata", 0o755); werr != nil {
+			t.Fatal(werr)
+		}
+		if werr := os.WriteFile(golden, buf.Bytes(), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Logf("wrote golden %s", golden)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Errorf("chrome trace differs from golden; run with UPDATE_GOLDEN=1 to refresh\ngot:\n%s", buf.String())
+	}
+}

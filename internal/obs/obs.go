@@ -1,0 +1,281 @@
+// Package obs is the synthesizer's observability layer: hierarchical
+// spans, monotonically accumulating counters, and gauges, recorded
+// concurrently and exported as Chrome trace-event JSON (chrome.go) or a
+// plain-text summary. The paper debugs SyCCL by where synthesis time
+// goes (Fig 16b) and how schedules use links (§5.2); this package makes
+// both first-class instead of ad-hoc wall-clock sums.
+//
+// A nil *Recorder is the off switch: every method on *Recorder and *Span
+// is nil-safe and the nil paths allocate nothing, so instrumented hot
+// paths cost nothing when observability is disabled. All state lives in
+// the Recorder behind one mutex; spans may be started, annotated, and
+// ended from any goroutine (annotate each span from the goroutine that
+// owns it).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// attrKind discriminates Attr payloads; typed constructors avoid
+// interface boxing on instrumented paths.
+type attrKind uint8
+
+const (
+	attrInt attrKind = iota
+	attrFloat
+	attrStr
+)
+
+// Attr is one typed key/value annotation on a span or emitted event.
+type Attr struct {
+	Key  string
+	kind attrKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: attrInt, i: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, kind: attrFloat, f: v} }
+
+// Str builds a string attribute.
+func Str(key string, v string) Attr { return Attr{Key: key, kind: attrStr, s: v} }
+
+// Value returns the attribute's payload as an interface value (used by
+// the exporters, off the hot path).
+func (a Attr) Value() interface{} {
+	switch a.kind {
+	case attrInt:
+		return a.i
+	case attrFloat:
+		return a.f
+	default:
+		return a.s
+	}
+}
+
+// SpanRecord is one finished span as stored by the recorder.
+type SpanRecord struct {
+	Name   string
+	Parent string // name of the parent span ("" for roots)
+	Lane   int32  // rendering lane; concurrent spans live on distinct lanes
+	Start  time.Duration
+	End    time.Duration
+	Attrs  []Attr
+}
+
+// Sample is one counter/gauge observation: the cumulative (counters) or
+// instantaneous (gauges) value at a point in time.
+type Sample struct {
+	Name  string
+	At    time.Duration
+	Value float64
+}
+
+// Complete is an externally timed event injected into the Chrome trace —
+// used to render the simulated schedule as per-link timelines alongside
+// the synthesis spans. Times are in seconds on the emitter's own clock.
+type Complete struct {
+	Process string // trace process grouping, e.g. "schedule:a100x16"
+	Thread  string // trace thread within the process, e.g. "gpu003 nic"
+	Name    string // event label
+	Start   float64
+	Dur     float64
+	Attrs   []Attr
+}
+
+// Recorder accumulates spans, counter samples, and injected events.
+// The zero value is not usable; call NewRecorder. A nil *Recorder is a
+// valid no-op sink.
+type Recorder struct {
+	epoch    time.Time
+	nextLane int32 // atomic; lane 0 is the main pipeline
+
+	mu       sync.Mutex
+	spans    []SpanRecord
+	counters map[string]float64
+	samples  []Sample
+	extras   []Complete
+}
+
+// NewRecorder returns an active recorder whose clock starts now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now(), counters: make(map[string]float64)}
+}
+
+// Active reports whether the recorder actually records (non-nil).
+func (r *Recorder) Active() bool { return r != nil }
+
+func (r *Recorder) now() time.Duration { return time.Since(r.epoch) }
+
+// Count adds delta to the named counter and records a cumulative sample.
+func (r *Recorder) Count(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	at := r.now()
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.samples = append(r.samples, Sample{Name: name, At: at, Value: r.counters[name]})
+	r.mu.Unlock()
+}
+
+// Gauge records an instantaneous sample of the named series without
+// accumulation.
+func (r *Recorder) Gauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	at := r.now()
+	r.mu.Lock()
+	r.counters[name] = v
+	r.samples = append(r.samples, Sample{Name: name, At: at, Value: v})
+	r.mu.Unlock()
+}
+
+// CounterValue returns the current value of a counter or gauge.
+func (r *Recorder) CounterValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Counters returns a copy of all counter/gauge final values.
+func (r *Recorder) Counters() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Spans returns a copy of all finished spans in end order.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+// Samples returns a copy of all counter/gauge samples in record order.
+func (r *Recorder) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Sample(nil), r.samples...)
+}
+
+// Emit injects an externally timed complete event (see Complete).
+func (r *Recorder) Emit(ev Complete) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.extras = append(r.extras, ev)
+	r.mu.Unlock()
+}
+
+// StartSpan opens a root span on the main lane.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{rec: r, name: name, start: r.now()}
+}
+
+// Span is an in-flight interval. Obtain one from Recorder.StartSpan or
+// Span.Child/ChildLane; finish it with End. A nil *Span is a valid
+// no-op, so instrumented code never branches on whether recording is on.
+type Span struct {
+	rec    *Recorder
+	name   string
+	parent string
+	lane   int32
+	start  time.Duration
+	attrs  []Attr
+}
+
+// Child opens a sub-span on the same lane (sequential nesting).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{rec: s.rec, name: name, parent: s.name, lane: s.lane, start: s.rec.now()}
+}
+
+// ChildLane opens a sub-span on a fresh lane; use it for work running
+// concurrently with the parent (e.g. parallel sub-demand solves), so the
+// trace renders overlapping intervals on separate rows.
+func (s *Span) ChildLane(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	lane := atomic.AddInt32(&s.rec.nextLane, 1)
+	return &Span{rec: s.rec, name: name, parent: s.name, lane: lane, start: s.rec.now()}
+}
+
+// SetInt annotates the span with an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Int(key, v))
+}
+
+// SetFloat annotates the span with a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Float(key, v))
+}
+
+// SetStr annotates the span with a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Str(key, v))
+}
+
+// Count forwards to the owning recorder's counter (nil-safe shorthand
+// for instrumented code that only holds a span).
+func (s *Span) Count(name string, delta float64) {
+	if s == nil {
+		return
+	}
+	s.rec.Count(name, delta)
+}
+
+// End closes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.rec
+	rec := SpanRecord{Name: s.name, Parent: s.parent, Lane: s.lane, Start: s.start, End: r.now(), Attrs: s.attrs}
+	if rec.End < rec.Start {
+		rec.End = rec.Start
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, rec)
+	r.mu.Unlock()
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The nil recorder is the production default: instrumentation in
+// core.Synthesize and below must add zero allocations when observability
+// is off. This exercises the exact call shapes the pipeline uses.
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var rec *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := rec.StartSpan("synthesize")
+		root.SetStr("topology", "a100x16")
+		rec.Count("cache.hits", 1)
+		phase := root.Child("solve.coarse")
+		worker := phase.ChildLane("solve.subdemand")
+		worker.SetInt("demand", 3)
+		worker.SetFloat("tau", 1e-6)
+		worker.Count("lp.pivots", 17)
+		worker.End()
+		phase.End()
+		rec.Gauge("sim.makespan", 0.5)
+		rec.Emit(Complete{Process: "p", Thread: "t", Name: "n"})
+		root.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	rec := NewRecorder()
+	rec.Count("hits", 2)
+	rec.Count("hits", 3)
+	rec.Gauge("depth", 7)
+	rec.Gauge("depth", 4)
+	if v := rec.CounterValue("hits"); v != 5 {
+		t.Errorf("hits = %g, want 5", v)
+	}
+	if v := rec.CounterValue("depth"); v != 4 {
+		t.Errorf("depth = %g, want 4 (gauge overwrites)", v)
+	}
+	samples := rec.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(samples))
+	}
+	// Counter samples carry the cumulative value.
+	if samples[1].Value != 5 {
+		t.Errorf("second hits sample = %g, want cumulative 5", samples[1].Value)
+	}
+}
+
+func TestSpanHierarchyAndLanes(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartSpan("root")
+	child := root.Child("child")
+	lane := root.ChildLane("parallel")
+	child.SetInt("k", 1)
+	child.End()
+	lane.End()
+	root.End()
+
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != "root" || byName["parallel"].Parent != "root" {
+		t.Error("children do not record their parent")
+	}
+	if byName["child"].Lane != byName["root"].Lane {
+		t.Error("Child must inherit the parent lane")
+	}
+	if byName["parallel"].Lane == byName["root"].Lane {
+		t.Error("ChildLane must move to a fresh lane")
+	}
+	if byName["root"].End < byName["child"].End {
+		t.Error("root ended before child in record order")
+	}
+}
+
+// Concurrent span recording and counting must be safe (run under -race).
+func TestConcurrentRecording(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartSpan("root")
+	var wg sync.WaitGroup
+	const workers = 16
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := root.ChildLane("work")
+				sp.SetInt("worker", int64(w))
+				rec.Count("ops", 1)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := rec.CounterValue("ops"); got != workers*50 {
+		t.Errorf("ops = %g, want %d", got, workers*50)
+	}
+	if got := len(rec.Spans()); got != workers*50+1 {
+		t.Errorf("spans = %d, want %d", got, workers*50+1)
+	}
+	for _, s := range rec.Spans() {
+		if s.End < s.Start {
+			t.Fatalf("span %q ends before it starts", s.Name)
+		}
+	}
+}
+
+func TestSpanEndMonotone(t *testing.T) {
+	rec := NewRecorder()
+	sp := rec.StartSpan("tick")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	got := rec.Spans()[0]
+	if got.End-got.Start < time.Millisecond/2 {
+		t.Errorf("span duration %v implausibly short", got.End-got.Start)
+	}
+}

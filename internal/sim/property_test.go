@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -98,6 +99,95 @@ func TestDeterminismProperty(t *testing.T) {
 			return false
 		}
 		return r1.Time == r2.Time && r1.Events == r2.Events
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-link accounting is consistent — every link's busy time
+// fits inside the makespan, and summing each transfer's service time
+// (β·bytes, regardless of how it is cut into blocks) onto its egress
+// link reproduces LinkBusy exactly. PortBusy per dimension must equal
+// the same sums grouped by dimension.
+func TestLinkBusyConsistencyProperty(t *testing.T) {
+	top := topology.SingleServer(8)
+	f := func(seed int64, pipelined bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bytes := 1e5 * (1 + 20*rng.Float64())
+		s := randomSchedule(rng, 8, bytes)
+		opts := Options{}
+		if pipelined {
+			opts = DefaultOptions()
+		}
+		r, err := Simulate(top, s, opts)
+		if err != nil {
+			return false
+		}
+		// Busy time never exceeds the makespan on any link.
+		for g := range r.LinkBusy {
+			for c, busy := range r.LinkBusy[g] {
+				if busy < 0 || busy > r.Time+1e-12 {
+					t.Logf("link (%d,%d) busy %g vs makespan %g", g, c, busy, r.Time)
+					return false
+				}
+				if u := r.LinkUtilization(g, c); u < 0 || u > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		// Sum of per-transfer service times equals the reported busy time.
+		wantLink := make([][]float64, top.NumGPUs())
+		for g := range wantLink {
+			wantLink[g] = make([]float64, top.NumPortClasses())
+		}
+		wantDim := make([]float64, top.NumDims())
+		for _, tr := range s.Transfers {
+			dim := top.Dim(tr.Dim)
+			service := dim.Beta * s.Pieces[tr.Piece].Bytes
+			wantLink[tr.Src][dim.PortClass] += service
+			wantDim[tr.Dim] += service
+		}
+		approxEq := func(a, b float64) bool {
+			return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+		}
+		for g := range wantLink {
+			for c := range wantLink[g] {
+				if !approxEq(wantLink[g][c], r.LinkBusy[g][c]) {
+					t.Logf("link (%d,%d): want %g got %g", g, c, wantLink[g][c], r.LinkBusy[g][c])
+					return false
+				}
+			}
+		}
+		for d := range wantDim {
+			if !approxEq(wantDim[d], r.PortBusy[d]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every transfer starts no earlier than time zero and finishes
+// after it starts; starts respect the port-serialization order.
+func TestStartFinishOrderingProperty(t *testing.T) {
+	top := topology.SingleServer(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchedule(rng, 8, 1e6)
+		r, err := Simulate(top, s, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		for i := range s.Transfers {
+			if r.StartAt[i] < 0 || r.FinishAt[i] <= r.StartAt[i] {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"syccl/internal/obs"
 	"syccl/internal/schedule"
 	"syccl/internal/topology"
 )
@@ -37,6 +38,9 @@ type Options struct {
 	// MaxBlocks caps the per-transfer block count (default 8 when
 	// BlockBytes is set).
 	MaxBlocks int
+	// Rec optionally records a span and event counters per simulation
+	// (nil: no instrumentation, zero overhead).
+	Rec *obs.Recorder
 }
 
 // DefaultOptions mirrors a typical CCL transport: 512 KiB pipeline blocks,
@@ -54,8 +58,14 @@ type Result struct {
 	// PortBusy[d] is the aggregate busy time of all ports of dimension d
 	// (egress side), used for utilization reporting.
 	PortBusy []float64
+	// LinkBusy[g][c] is the busy time of GPU g's class-c egress port —
+	// the per-link view behind Utilization's per-dimension aggregate.
+	LinkBusy [][]float64
 	// FinishAt[i] is the arrival time of transfer i's last block.
 	FinishAt []float64
+	// StartAt[i] is the start time of transfer i's first block (when its
+	// egress port begins serving it).
+	StartAt []float64
 }
 
 // Utilization returns the mean egress utilization of dimension d: busy
@@ -74,6 +84,19 @@ func (r *Result) Utilization(top *topology.Topology, d int) float64 {
 	return r.PortBusy[d] / (float64(ports) * r.Time)
 }
 
+// LinkUtilization returns the busy fraction of GPU g's class-c egress
+// port over the makespan.
+func (r *Result) LinkUtilization(g, c int) float64 {
+	if r.Time <= 0 || g < 0 || g >= len(r.LinkBusy) {
+		return 0
+	}
+	busy := r.LinkBusy[g]
+	if c < 0 || c >= len(busy) {
+		return 0
+	}
+	return busy[c] / r.Time
+}
+
 type blockEvent struct {
 	transfer int
 	block    int
@@ -84,6 +107,19 @@ type blockEvent struct {
 // It returns an error if a transfer uses a dimension whose group does not
 // contain both endpoints, or if dependencies are cyclic.
 func Simulate(top *topology.Topology, s *schedule.Schedule, opts Options) (*Result, error) {
+	sp := opts.Rec.StartSpan("sim.simulate")
+	sp.SetInt("transfers", int64(len(s.Transfers)))
+	res, err := simulate(top, s, opts)
+	if err == nil {
+		sp.SetInt("events", int64(res.Events))
+		sp.SetFloat("makespan", res.Time)
+		sp.Count("sim.events", float64(res.Events))
+	}
+	sp.End()
+	return res, err
+}
+
+func simulate(top *topology.Topology, s *schedule.Schedule, opts Options) (*Result, error) {
 	n := top.NumGPUs()
 	if s.NumGPUs != n {
 		return nil, fmt.Errorf("sim: schedule has %d GPUs, topology %d", s.NumGPUs, n)
@@ -142,7 +178,15 @@ func Simulate(top *topology.Topology, s *schedule.Schedule, opts Options) (*Resu
 		ingress[g] = make([]float64, numClasses)
 	}
 
-	res := &Result{PortBusy: make([]float64, top.NumDims()), FinishAt: make([]float64, len(s.Transfers))}
+	res := &Result{
+		PortBusy: make([]float64, top.NumDims()),
+		LinkBusy: make([][]float64, n),
+		FinishAt: make([]float64, len(s.Transfers)),
+		StartAt:  make([]float64, len(s.Transfers)),
+	}
+	for g := 0; g < n; g++ {
+		res.LinkBusy[g] = make([]float64, numClasses)
+	}
 
 	for _, i := range seq {
 		t := s.Transfers[i]
@@ -181,6 +225,10 @@ func Simulate(top *topology.Topology, s *schedule.Schedule, opts Options) (*Resu
 			egress[t.Src][class] = start + busy
 			ingress[t.Dst][class] = start + busy
 			res.PortBusy[t.Dim] += busy
+			res.LinkBusy[t.Src][class] += busy
+			if b == 0 {
+				res.StartAt[i] = start
+			}
 			st.blockFinish[b] = finish
 			res.Events++
 			if finish > res.Time {

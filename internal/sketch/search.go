@@ -3,6 +3,7 @@ package sketch
 import (
 	"sort"
 
+	"syccl/internal/obs"
 	"syccl/internal/topology"
 )
 
@@ -30,6 +31,9 @@ type SearchOptions struct {
 	// MaxCountChoices bounds how many distinct destination counts are
 	// tried per dimension per stage (default 3: full, half, one).
 	MaxCountChoices int
+	// Rec optionally records a search span plus node/sketch counters
+	// (nil: no instrumentation).
+	Rec *obs.Recorder
 }
 
 func (o SearchOptions) withDefaults(top *topology.Topology, scatter bool) SearchOptions {
@@ -88,6 +92,14 @@ type searcher struct {
 }
 
 func runSearch(top *topology.Topology, root int, scatter bool, opts SearchOptions) []*Sketch {
+	sp := opts.Rec.StartSpan("sketch.search")
+	sp.SetInt("root", int64(root))
+	if scatter {
+		sp.SetStr("shape", "scatter")
+	} else {
+		sp.SetStr("shape", "broadcast")
+	}
+	defer sp.End()
 	s := &searcher{
 		top:     top,
 		opts:    opts.withDefaults(top, scatter),
@@ -115,6 +127,10 @@ func runSearch(top *topology.Topology, root int, scatter bool, opts SearchOption
 	// shapes thanks to descriptor dedupe).
 	inf, sk := start()
 	s.recurse(sk, inf, top.NumGPUs()-1, 0)
+	sp.SetInt("nodes", int64(s.nodes))
+	sp.SetInt("sketches", int64(len(s.out)))
+	sp.Count("sketch.nodes", float64(s.nodes))
+	sp.Count("sketch.emitted", float64(len(s.out)))
 	return s.out
 }
 

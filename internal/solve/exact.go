@@ -7,6 +7,7 @@ import (
 
 	"syccl/internal/lp"
 	"syccl/internal/milp"
+	"syccl/internal/obs"
 )
 
 // errTooLarge signals that the time-expanded MILP would exceed the size
@@ -18,7 +19,8 @@ var errTooLarge = errors.New("solve: MILP instance exceeds size budget")
 // (Appendix A.1: "the minimum number of epochs required to satisfy the
 // sub-demand"). The greedy schedule provides both the incumbent for each
 // MILP and the upper bound on T.
-func exactSolve(d *Demand, tau float64, maxBinaries int, budget time.Duration) (*SubSchedule, error) {
+func exactSolve(d *Demand, tau float64, opts Options) (*SubSchedule, error) {
+	maxBinaries, budget := opts.MaxBinaries, opts.TimeLimit
 	// Size gate BEFORE any expensive work: the time-expanded variable
 	// count at the smallest useful horizon already tells us whether the
 	// instance is tractable.
@@ -30,6 +32,11 @@ func exactSolve(d *Demand, tau float64, maxBinaries int, budget time.Duration) (
 	if estVars > maxBinaries || estVars*lb > 8*maxBinaries {
 		return nil, errTooLarge
 	}
+
+	sp := opts.Span.Child("solve.exact")
+	sp.SetInt("lower-bound", int64(lb))
+	defer sp.End()
+	sp.Count("solve.exact", 1)
 
 	greedy := greedySolve(d, tau, nil)
 	if greedy.Epochs <= lb {
@@ -46,7 +53,10 @@ func exactSolve(d *Demand, tau float64, maxBinaries int, budget time.Duration) (
 		if remain <= 0 {
 			break
 		}
-		sched, err := solveHorizon(d, tau, T, maxBinaries, remain)
+		hs := sp.Child("milp.horizon")
+		hs.SetInt("T", int64(T))
+		sched, err := solveHorizon(d, tau, T, maxBinaries, remain, hs)
+		hs.End()
 		if err == errTooLarge {
 			return nil, err
 		}
@@ -65,8 +75,9 @@ func exactSolve(d *Demand, tau float64, maxBinaries int, budget time.Duration) (
 
 // solveHorizon builds and solves the fixed-horizon MILP. It returns nil
 // (no error) when the horizon is infeasible or unproven within the time
-// limit.
-func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Duration) (*SubSchedule, error) {
+// limit. The span (nil-safe) receives the MILP's size, node count, and
+// simplex pivot totals.
+func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Duration, sp *obs.Span) (*SubSchedule, error) {
 	n := d.NumGPUs
 	type key struct{ p, i, j, t int }
 	varOf := make(map[key]int)
@@ -211,6 +222,12 @@ func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Durati
 	if err != nil {
 		return nil, fmt.Errorf("solve: horizon %d: %w", T, err)
 	}
+	sp.SetInt("binaries", int64(len(keys)))
+	sp.SetInt("milp.nodes", int64(sol.Nodes))
+	sp.SetInt("lp.pivots", int64(sol.LPIters))
+	sp.SetStr("status", sol.Status.String())
+	sp.Count("milp.nodes", float64(sol.Nodes))
+	sp.Count("lp.pivots", float64(sol.LPIters))
 	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
 		return nil, nil
 	}

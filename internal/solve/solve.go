@@ -3,6 +3,8 @@ package solve
 import (
 	"fmt"
 	"time"
+
+	"syccl/internal/obs"
 )
 
 // Engine selects the solving strategy.
@@ -55,6 +57,11 @@ type Options struct {
 	Seed int64
 	// Restarts is the randomized restart count (default 16).
 	Restarts int
+	// Span optionally parents this solve's instrumentation (engine
+	// sub-spans, lp.pivots / milp.nodes counters). Nil: no recording.
+	// It does not influence the solve and must be excluded from any
+	// option-derived cache keys.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +110,7 @@ func Solve(d *Demand, opts Options) (*SubSchedule, error) {
 	// shape of all-to-all style merged demands) have a provably
 	// load-optimal rotation schedule; no search needed at any engine.
 	if s := rotationSolve(d, tau); s != nil {
+		opts.Span.Count("solve.rotation", 1)
 		return s, nil
 	}
 	// Large bundles: direct port scheduling instead of the generic
@@ -111,6 +119,7 @@ func Solve(d *Demand, opts Options) (*SubSchedule, error) {
 	// where relay choices matter (single-server cells, small testbeds)
 	// and routes merged many-piece cells to the linear paths.
 	if deliveryCount(d) > 128 {
+		opts.Span.Count("solve.flatten", 1)
 		if pointToPoint(d) {
 			return firstFitSolve(d, tau), nil
 		}
@@ -119,14 +128,17 @@ func Solve(d *Demand, opts Options) (*SubSchedule, error) {
 
 	switch opts.Engine {
 	case EngineGreedy:
+		opts.Span.Count("solve.greedy", 1)
 		return greedySolve(d, tau, nil), nil
 	case EngineRestarts:
+		opts.Span.Count("solve.restarts", 1)
 		return improveSolve(d, tau, opts.Seed, opts.Restarts), nil
 	case EngineExact:
-		return exactSolve(d, tau, opts.MaxBinaries, opts.TimeLimit)
+		return exactSolve(d, tau, opts)
 	case EngineAuto:
-		s, err := exactSolve(d, tau, opts.MaxBinaries, opts.TimeLimit)
+		s, err := exactSolve(d, tau, opts)
 		if err == errTooLarge {
+			opts.Span.Count("solve.restarts", 1)
 			return improveSolve(d, tau, opts.Seed, opts.Restarts), nil
 		}
 		return s, err

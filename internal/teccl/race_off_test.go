@@ -1,0 +1,8 @@
+//go:build !race
+
+package teccl
+
+// raceEnabled reports whether the race detector is active; budget-
+// consumption tests are skipped under it because instrumentation
+// inflates per-round cost past the test's time budget.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package teccl
+
+const raceEnabled = true

@@ -26,6 +26,7 @@ import (
 
 	"syccl/internal/collective"
 	"syccl/internal/nccl"
+	"syccl/internal/obs"
 	"syccl/internal/schedule"
 	"syccl/internal/sim"
 	"syccl/internal/topology"
@@ -50,6 +51,8 @@ type Options struct {
 	Seed int64
 	// Sim configures the evaluation simulator.
 	Sim sim.Options
+	// Rec optionally records synthesis spans and counters (nil: off).
+	Rec *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +64,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Sim == (sim.Options{}) {
 		o.Sim = sim.DefaultOptions()
+	}
+	if o.Rec != nil && o.Sim.Rec == nil {
+		o.Sim.Rec = o.Rec
 	}
 	return o
 }
@@ -77,6 +83,10 @@ type Result struct {
 // Synthesize produces a TECCL schedule for the collective.
 func Synthesize(top *topology.Topology, col *collective.Collective, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	sp := opts.Rec.StartSpan("teccl.synthesize")
+	sp.SetStr("topology", top.Name)
+	sp.SetStr("collective", col.Kind.String())
+	defer sp.End()
 	start := time.Now()
 	deadline := start.Add(opts.TimeBudget)
 
@@ -190,6 +200,9 @@ func Synthesize(top *topology.Topology, col *collective.Collective, opts Options
 		}
 	}
 	res.Spent = time.Since(start)
+	sp.SetInt("rounds", int64(res.Rounds))
+	sp.SetFloat("time", res.Time)
+	sp.Count("teccl.rounds", float64(res.Rounds))
 	return res, nil
 }
 

@@ -25,6 +25,9 @@ func TestAllGatherValidates(t *testing.T) {
 }
 
 func TestBudgetConsumed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("per-round cost under the race detector outruns the time budget")
+	}
 	// TECCL keeps improving until the budget expires, mirroring the
 	// paper's timeout-bounded Gurobi runs.
 	top := topology.A100Clos(2)

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"syccl/internal/obs"
 	"syccl/internal/schedule"
 	"syccl/internal/sim"
 	"syccl/internal/topology"
@@ -20,8 +21,13 @@ type Event struct {
 	Transfer int // index into the schedule
 	Src, Dst int
 	Dim      int
-	Bytes    float64
-	Finish   float64 // arrival time (seconds)
+	// Port is the egress link the transfer occupies, densely numbered as
+	// src*NumPortClasses + portClass so every (GPU, physical port) pair
+	// gets a stable id.
+	Port   int
+	Bytes  float64
+	Start  float64 // first byte leaves the source (seconds)
+	Finish float64 // arrival time (seconds)
 }
 
 // Timeline is the simulated activity of a schedule.
@@ -31,37 +37,85 @@ type Timeline struct {
 }
 
 // Build combines a schedule with its simulation result.
-func Build(s *schedule.Schedule, r *sim.Result) *Timeline {
+func Build(top *topology.Topology, s *schedule.Schedule, r *sim.Result) *Timeline {
 	tl := &Timeline{Makespan: r.Time}
+	nc := top.NumPortClasses()
 	for i, t := range s.Transfers {
+		start := 0.0
+		if i < len(r.StartAt) {
+			start = r.StartAt[i]
+		}
 		tl.Events = append(tl.Events, Event{
 			Transfer: i,
 			Src:      t.Src,
 			Dst:      t.Dst,
 			Dim:      t.Dim,
+			Port:     t.Src*nc + top.Dim(t.Dim).PortClass,
 			Bytes:    s.Pieces[t.Piece].Bytes,
+			Start:    start,
 			Finish:   r.FinishAt[i],
 		})
 	}
-	sort.SliceStable(tl.Events, func(a, b int) bool { return tl.Events[a].Finish < tl.Events[b].Finish })
+	sort.SliceStable(tl.Events, func(a, b int) bool {
+		if tl.Events[a].Start != tl.Events[b].Start {
+			return tl.Events[a].Start < tl.Events[b].Start
+		}
+		return tl.Events[a].Finish < tl.Events[b].Finish
+	})
 	return tl
 }
 
 // EventLog renders the first `limit` events (0 = all) as a table.
 func (tl *Timeline) EventLog(limit int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%10s %6s %6s %5s %12s\n", "finish", "src", "dst", "dim", "bytes")
+	fmt.Fprintf(&b, "%10s %10s %6s %6s %5s %5s %12s\n", "start", "finish", "src", "dst", "dim", "port", "bytes")
 	n := len(tl.Events)
 	if limit > 0 && limit < n {
 		n = limit
 	}
 	for _, e := range tl.Events[:n] {
-		fmt.Fprintf(&b, "%9.3fµs %6d %6d %5d %12.0f\n", e.Finish*1e6, e.Src, e.Dst, e.Dim, e.Bytes)
+		fmt.Fprintf(&b, "%9.3fµs %9.3fµs %6d %6d %5d %5d %12.0f\n",
+			e.Start*1e6, e.Finish*1e6, e.Src, e.Dst, e.Dim, e.Port, e.Bytes)
 	}
 	if n < len(tl.Events) {
 		fmt.Fprintf(&b, "… %d more events, makespan %.3gs\n", len(tl.Events)-n, tl.Makespan)
 	}
 	return b.String()
+}
+
+// EmitChrome injects the simulated schedule into an observability
+// recorder as a separate Chrome-trace process: one thread per egress
+// link (GPU × port class), one complete event per transfer spanning its
+// simulated start→finish window. Loading the exported trace in Perfetto
+// then shows the synthesis pipeline and the schedule it produced side by
+// side. A nil recorder is a no-op.
+func EmitChrome(rec *obs.Recorder, top *topology.Topology, s *schedule.Schedule, r *sim.Result) {
+	if rec == nil {
+		return
+	}
+	tl := Build(top, s, r)
+	proc := "schedule:" + top.Name
+	for _, e := range tl.Events {
+		class := top.Dim(e.Dim).PortClass
+		dur := e.Finish - e.Start
+		if dur < 0 {
+			dur = 0
+		}
+		rec.Emit(obs.Complete{
+			Process: proc,
+			Thread:  fmt.Sprintf("gpu%03d p%d", e.Src, class),
+			Name:    fmt.Sprintf("%d→%d", e.Src, e.Dst),
+			Start:   e.Start,
+			Dur:     dur,
+			Attrs: []obs.Attr{
+				obs.Int("transfer", int64(e.Transfer)),
+				obs.Int("dim", int64(e.Dim)),
+				obs.Int("port", int64(e.Port)),
+				obs.Float("bytes", e.Bytes),
+				obs.Float("util", r.LinkUtilization(e.Src, class)),
+			},
+		})
+	}
 }
 
 // Gantt renders per-GPU egress activity as a fixed-width chart: one row

@@ -1,11 +1,15 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
 	"syccl/internal/collective"
 	"syccl/internal/nccl"
+	"syccl/internal/obs"
 	"syccl/internal/sim"
 	"syccl/internal/topology"
 )
@@ -22,24 +26,35 @@ func buildTimeline(t *testing.T) (*Timeline, *topology.Topology, *sim.Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Build(s, r), top, r
+	return Build(top, s, r), top, r
 }
 
-func TestBuildOrdersByFinish(t *testing.T) {
-	tl, _, r := buildTimeline(t)
+func TestBuildOrdersByStart(t *testing.T) {
+	tl, top, r := buildTimeline(t)
 	if len(tl.Events) == 0 {
 		t.Fatal("no events")
 	}
-	for i := 1; i < len(tl.Events); i++ {
-		if tl.Events[i].Finish < tl.Events[i-1].Finish {
-			t.Fatal("events not sorted by finish time")
+	maxFinish := 0.0
+	nc := top.NumPortClasses()
+	for i, e := range tl.Events {
+		if i > 0 && e.Start < tl.Events[i-1].Start {
+			t.Fatal("events not sorted by start time")
+		}
+		if e.Finish <= e.Start {
+			t.Errorf("event %d: finish %g ≤ start %g", i, e.Finish, e.Start)
+		}
+		if want := e.Src*nc + top.Dim(e.Dim).PortClass; e.Port != want {
+			t.Errorf("event %d: port %d, want %d", i, e.Port, want)
+		}
+		if e.Finish > maxFinish {
+			maxFinish = e.Finish
 		}
 	}
 	if tl.Makespan != r.Time {
 		t.Errorf("makespan %g != sim time %g", tl.Makespan, r.Time)
 	}
-	if last := tl.Events[len(tl.Events)-1]; last.Finish != r.Time {
-		t.Errorf("last finish %g != makespan %g", last.Finish, r.Time)
+	if maxFinish != r.Time {
+		t.Errorf("max finish %g != makespan %g", maxFinish, r.Time)
 	}
 }
 
@@ -70,6 +85,73 @@ func TestGantt(t *testing.T) {
 	if !strings.Contains(empty, "empty") {
 		t.Error("empty timeline not handled")
 	}
+}
+
+func TestEmitChrome(t *testing.T) {
+	top := topology.H800Small(2)
+	col := collective.AllGather(8, 1<<20)
+	s, err := nccl.AllGather(top, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Simulate(top, s, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	EmitChrome(rec, top, s, r)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string                 `json:"ph"`
+			Name string                 `json:"name"`
+			Dur  float64                `json:"dur"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	nX, threads := 0, map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			nX++
+			if ev.Dur < 0 {
+				t.Errorf("negative duration on %q", ev.Name)
+			}
+			if _, ok := ev.Args["bytes"]; !ok {
+				t.Errorf("event %q missing bytes arg", ev.Name)
+			}
+		case "M":
+			if ev.Name == "thread_name" {
+				threads[fmt.Sprint(ev.Args["name"])] = true
+			}
+		}
+	}
+	if nX != len(s.Transfers) {
+		t.Errorf("emitted %d events for %d transfers", nX, len(s.Transfers))
+	}
+	// Every GPU sends in a ring AllGather, so every GPU contributes at
+	// least one link thread.
+	for g := 0; g < top.NumGPUs(); g++ {
+		found := false
+		for name := range threads {
+			if strings.HasPrefix(name, fmt.Sprintf("gpu%03d ", g)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no link thread for gpu %d (threads: %v)", g, threads)
+		}
+	}
+
+	// Nil recorder must be a no-op, not a panic.
+	EmitChrome(nil, top, s, r)
 }
 
 func TestDimSummary(t *testing.T) {
