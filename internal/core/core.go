@@ -27,9 +27,16 @@ type Options struct {
 	R1 float64
 	// R2 caps the candidates refined in the fine pass.
 	R2 int
-	// Workers is the number of parallel sub-demand solvers (default
-	// GOMAXPROCS).
+	// Workers bounds the synthesis-level parallelism: candidate
+	// assembly/simulation and sub-demand solving all fan out over this
+	// many goroutines (default GOMAXPROCS). Results are deterministic
+	// for any value.
 	Workers int
+	// MILPWorkers is the branch-and-bound worker count inside each exact
+	// sub-demand solve (default 1; deterministic across counts). Total
+	// solver parallelism is Workers×MILPWorkers, so raise this only when
+	// few candidates dominate the run.
+	MILPWorkers int
 	// MaxCombos caps the candidate combinations evaluated (default 12).
 	MaxCombos int
 	// Search configures sketch exploration (pruning toggles, stage

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"syccl/internal/collective"
@@ -86,7 +87,6 @@ func seedCounters(rec *obs.Recorder) {
 // collectives. The parent span (nil-safe) roots the per-phase spans.
 func synthesizeForward(top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span) (*Result, error) {
 	res := &Result{}
-	cache := newSolveCache(opts)
 
 	// Phase 1a: sketch search (§4.1).
 	searchSpan := parent.Child("search")
@@ -156,25 +156,12 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	if opts.Engine != solve.EngineAuto {
 		eng1 = opts.Engine
 	}
+	coarse := realizeAll(top, col, combos, e1, eng1, opts, &res.Stats, coarseSpan)
 	cands := make([]*candidate, 0, len(combos))
 	for ci, combo := range combos {
-		cs := coarseSpan.Child("candidate")
-		cs.SetInt("index", int64(ci))
-		sched, err := realizeCombo(top, col, combo, e1, eng1, opts, cache, &res.Stats, cs)
-		if err != nil {
-			cs.SetStr("outcome", "unrealizable")
-			cs.End()
-			continue // a candidate may be unrealizable; skip it
+		if coarse[ci].ok {
+			cands = append(cands, &candidate{combo: combo, sched: coarse[ci].sched, time: coarse[ci].time})
 		}
-		r, err := sim.Simulate(top, sched, opts.Sim)
-		if err != nil {
-			cs.SetStr("outcome", "sim-failed")
-			cs.End()
-			continue
-		}
-		cs.SetFloat("time", r.Time)
-		cs.End()
-		cands = append(cands, &candidate{combo: combo, sched: sched, time: r.Time})
 	}
 	// The ring family lives in the untruncated sketch space (K up to
 	// |V|−1 stages) that the stage-bounded search cannot reach; include
@@ -212,36 +199,27 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	res.Stats.Refined = len(keep)
 	opts.Obs.Count("candidates.pruned", float64(len(cands)-len(keep)))
 
-	// Phase 2b: fine synthesis of the survivors.
+	// Phase 2b: fine synthesis of the survivors. Injected fixed schedules
+	// (nil combo, e.g. the ring) pass through realizeAll untouched and
+	// keep their coarse-pass result.
 	fineSpan := parent.Child("solve.fine")
 	fineSpan.SetInt("survivors", int64(len(keep)))
 	t0 = time.Now()
+	fineCombos := make([]*sketch.Combination, len(keep))
+	for i, c := range keep {
+		fineCombos[i] = c.combo
+	}
+	fine := realizeAll(top, col, fineCombos, opts.E2, opts.Engine, opts, &res.Stats, fineSpan)
 	best := keep[0]
 	bestTime := best.time
 	bestSched := best.sched
 	for ci, c := range keep {
-		if c.combo == nil {
-			continue // injected fixed schedule: nothing to refine
-		}
-		cs := fineSpan.Child("candidate")
-		cs.SetInt("index", int64(ci))
-		sched, err := realizeCombo(top, col, c.combo, opts.E2, opts.Engine, opts, cache, &res.Stats, cs)
-		if err != nil {
-			cs.SetStr("outcome", "unrealizable")
-			cs.End()
+		if !fine[ci].ok {
 			continue
 		}
-		r, err := sim.Simulate(top, sched, opts.Sim)
-		if err != nil {
-			cs.SetStr("outcome", "sim-failed")
-			cs.End()
-			continue
-		}
-		cs.SetFloat("time", r.Time)
-		cs.End()
-		if r.Time < bestTime {
-			bestTime = r.Time
-			bestSched = sched
+		if fine[ci].time < bestTime {
+			bestTime = fine[ci].time
+			bestSched = fine[ci].sched
 			best = c
 		}
 	}
@@ -289,28 +267,64 @@ func validateForward(s *schedule.Schedule, col *collective.Collective) error {
 	return nil
 }
 
-// realizeCombo solves the combination's merged sub-demands (in parallel,
-// deduplicated by isomorphism class) and assembles the schedule. The
-// span (nil-safe) parents one per-worker sub-span per representative
-// solve, each on its own trace lane.
-func realizeCombo(top *topology.Topology, col *collective.Collective, combo *sketch.Combination,
-	e float64, engine solve.Engine, opts Options, cache *solveCache, stats *Stats, span *obs.Span) (*schedule.Schedule, error) {
+// realized is the outcome of one candidate slot in a realization pass.
+type realized struct {
+	sched *schedule.Schedule
+	time  float64
+	ok    bool
+}
 
-	a, err := newAssembly(top, col, combo)
-	if err != nil {
-		return nil, err
-	}
+// realizeAll realizes every candidate combination of one pass at
+// accuracy e with the given engine. It replaces the per-candidate
+// keyed solve cache with whole-pass isomorphism batching:
+//
+//  1. build each candidate's assembly in parallel;
+//  2. pool the sub-demands of ALL candidates (in candidate-then-cell
+//     order), partition them into isomorphism classes globally, and
+//     solve one representative per class in parallel;
+//  3. map each remaining sub-demand from its representative's
+//     sub-schedule, then assemble and simulate each candidate in
+//     parallel.
+//
+// Every result is written into a slot indexed by candidate or demand
+// position and the shared counters are reduced in deterministic order,
+// so schedules, times, and Stats are byte-identical for any Workers
+// setting. Nil combinations (injected fixed schedules) and failed
+// candidates yield ok=false for their slot only; a failed
+// representative solve marks exactly the candidates that depend on it.
+func realizeAll(top *topology.Topology, col *collective.Collective, combos []*sketch.Combination,
+	e float64, engine solve.Engine, opts Options, stats *Stats, span *obs.Span) []realized {
 
-	demands := make([]*solve.Demand, len(a.keys))
-	for i, k := range a.keys {
-		demands[i] = a.cells[k].demand
-	}
+	n := len(combos)
+	out := make([]realized, n)
+	asms := make([]*assembly, n)
+	parallelFor(n, opts.Workers, func(ci int) {
+		if combos[ci] == nil {
+			return
+		}
+		a, err := newAssembly(top, col, combos[ci])
+		if err != nil {
+			cs := span.ChildLane("candidate")
+			cs.SetInt("index", int64(ci))
+			cs.SetStr("outcome", "unrealizable")
+			cs.End()
+			return // a candidate may be unrealizable; skip it
+		}
+		asms[ci] = a
+	})
 
-	solveOpts := solve.Options{
-		E:         e,
-		Engine:    engine,
-		TimeLimit: opts.SolveTimeLimit,
-		Seed:      opts.Seed,
+	// Pool every candidate's sub-demands; offs[ci] locates candidate
+	// ci's cells inside the flat list.
+	var demands []*solve.Demand
+	offs := make([]int, n)
+	for ci, a := range asms {
+		offs[ci] = len(demands)
+		if a == nil {
+			continue
+		}
+		for _, k := range a.keys {
+			demands = append(demands, a.cells[k].demand)
+		}
 	}
 
 	var repOf []int
@@ -325,122 +339,129 @@ func realizeCombo(top *topology.Topology, col *collective.Collective, combo *ske
 	} else {
 		repOf, mapFromRep = isomorph.Classes(demands)
 	}
-
-	// Solve each class representative once, in parallel.
 	reps := make([]int, 0, len(demands))
 	for i := range demands {
 		if repOf[i] == i {
 			reps = append(reps, i)
 		}
 	}
-	solved := make([]*solve.SubSchedule, len(demands))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, opts.Workers)
-	var wg sync.WaitGroup
-	for _, i := range reps {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			ws := span.ChildLane("solve.subdemand")
-			ws.SetInt("demand", int64(i))
-			so := solveOpts
-			so.Span = ws
-			start := time.Now()
-			sub, hit, err := cache.solve(demands[i], so)
-			dur := time.Since(start)
-			if hit {
-				ws.SetStr("cache", "hit")
-			} else {
-				ws.SetStr("cache", "miss")
-			}
-			ws.End()
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			solved[i] = sub
-			if hit {
-				stats.CacheHits++
-				opts.Obs.Count("cache.hits", 1)
-			} else {
-				stats.SolverCalls++
-				stats.CacheMisses++
-				opts.Obs.Count("cache.misses", 1)
-				if dur > stats.MaxSolve {
-					stats.MaxSolve = dur
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	solveOpts := solve.Options{
+		E:           e,
+		Engine:      engine,
+		TimeLimit:   opts.SolveTimeLimit,
+		Seed:        opts.Seed,
+		MILPWorkers: opts.MILPWorkers,
 	}
 
-	bycell := make(map[cellKey]*solve.SubSchedule, len(demands))
-	for i, k := range a.keys {
-		r := repOf[i]
-		if solved[r] == nil {
-			return nil, fmt.Errorf("core: representative demand %d unsolved", r)
+	// Solve each class representative once, in parallel. Durations are
+	// collected per slot and reduced serially below so MaxSolve does not
+	// depend on goroutine interleaving.
+	solved := make([]*solve.SubSchedule, len(demands))
+	durs := make([]time.Duration, len(demands))
+	parallelFor(len(reps), opts.Workers, func(k int) {
+		i := reps[k]
+		ws := span.ChildLane("solve.subdemand")
+		ws.SetInt("demand", int64(i))
+		so := solveOpts
+		so.Span = ws
+		start := time.Now()
+		sub, err := solve.Solve(demands[i], so)
+		durs[i] = time.Since(start)
+		ws.End()
+		if err != nil {
+			return // the class stays unsolved; its candidates drop out
 		}
-		if r == i {
-			bycell[k] = solved[i]
-			if i != r {
-				stats.CacheHits++
-			}
-		} else {
-			bycell[k] = isomorph.MapSchedule(solved[r], mapFromRep[i])
+		solved[i] = sub
+	})
+	for _, i := range reps {
+		if solved[i] == nil {
+			continue
+		}
+		stats.SolverCalls++
+		stats.CacheMisses++
+		opts.Obs.Count("cache.misses", 1)
+		if durs[i] > stats.MaxSolve {
+			stats.MaxSolve = durs[i]
+		}
+	}
+	// Non-representatives whose class solved are served by mapping.
+	for i := range demands {
+		if repOf[i] != i && solved[repOf[i]] != nil {
 			stats.CacheHits++
 			opts.Obs.Count("cache.hits", 1)
 		}
 	}
-	return a.build(bycell)
-}
 
-// solveCache deduplicates sub-demand solves across candidates and passes
-// within one synthesis run.
-type solveCache struct {
-	mu      sync.Mutex
-	entries map[string][]cacheEntry
-	disable bool
-}
-
-type cacheEntry struct {
-	demand *solve.Demand
-	sub    *solve.SubSchedule
-}
-
-func newSolveCache(opts Options) *solveCache {
-	return &solveCache{entries: map[string][]cacheEntry{}, disable: opts.DisableIsomorphCache}
-}
-
-func (c *solveCache) solve(d *solve.Demand, opts solve.Options) (*solve.SubSchedule, bool, error) {
-	if c.disable {
-		sub, err := solve.Solve(d, opts)
-		return sub, false, err
-	}
-	key := fmt.Sprintf("E%g|eng%d|%s", opts.E, int(opts.Engine), isomorph.Key(d))
-	c.mu.Lock()
-	list := c.entries[key]
-	c.mu.Unlock()
-	for _, e := range list {
-		if m := isomorph.FindFullMapping(e.demand, d); m != nil {
-			return isomorph.MapSchedule(e.sub, *m), true, nil
+	// Map, assemble, and simulate each candidate.
+	parallelFor(n, opts.Workers, func(ci int) {
+		a := asms[ci]
+		if a == nil {
+			return
 		}
+		cs := span.ChildLane("candidate")
+		cs.SetInt("index", int64(ci))
+		bycell := make(map[cellKey]*solve.SubSchedule, len(a.keys))
+		for local, k := range a.keys {
+			g := offs[ci] + local
+			r := repOf[g]
+			if solved[r] == nil {
+				cs.SetStr("outcome", "unrealizable")
+				cs.End()
+				return
+			}
+			if r == g {
+				bycell[k] = solved[g]
+			} else {
+				bycell[k] = isomorph.MapSchedule(solved[r], mapFromRep[g])
+			}
+		}
+		sched, err := a.build(bycell)
+		if err != nil {
+			cs.SetStr("outcome", "unrealizable")
+			cs.End()
+			return
+		}
+		r, err := sim.Simulate(top, sched, opts.Sim)
+		if err != nil {
+			cs.SetStr("outcome", "sim-failed")
+			cs.End()
+			return
+		}
+		cs.SetFloat("time", r.Time)
+		cs.End()
+		out[ci] = realized{sched: sched, time: r.Time, ok: true}
+	})
+	return out
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines, pulling
+// indices from a shared atomic counter. Callers write results into
+// index-slotted arrays, so scheduling order never leaks into outputs.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
 	}
-	sub, err := solve.Solve(d, opts)
-	if err != nil {
-		return nil, false, err
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
-	c.mu.Lock()
-	c.entries[key] = append(c.entries[key], cacheEntry{demand: d, sub: sub})
-	c.mu.Unlock()
-	return sub, false, nil
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

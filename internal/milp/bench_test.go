@@ -1,0 +1,143 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"syccl/internal/lp"
+)
+
+// benchLCG is a tiny deterministic generator so benchmark instances are
+// identical across runs and machines.
+type benchLCG struct{ s uint64 }
+
+func (l *benchLCG) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 33
+}
+
+func (l *benchLCG) intn(n int) int { return int(l.next() % uint64(n)) }
+
+// hardKnapsack builds a strongly-correlated 0/1 knapsack: values track
+// weights closely, so LP relaxations are tight and branch-and-bound must
+// explore many nodes to prove optimality. Returns the problem and its
+// optimum (computed by dynamic programming over the integral data).
+func hardKnapsack(n int, seed uint64) (*Problem, float64) {
+	g := &benchLCG{s: seed}
+	p := NewProblem(n)
+	weights := make([]int, n)
+	values := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		w := 20 + g.intn(51)
+		weights[i] = w
+		values[i] = w + 5 + g.intn(5)
+		total += w
+	}
+	capacity := total / 2
+	row := make([]lp.Term, n)
+	for i := 0; i < n; i++ {
+		p.SetBinary(i)
+		p.LP.SetObjective(i, -float64(values[i])) // maximize value
+		row[i] = lp.Term{Var: i, Coeff: float64(weights[i])}
+	}
+	p.LP.AddConstraint(row, lp.LE, float64(capacity))
+
+	best := make([]float64, capacity+1)
+	for i := 0; i < n; i++ {
+		for c := capacity; c >= weights[i]; c-- {
+			if v := best[c-weights[i]] + float64(values[i]); v > best[c] {
+				best[c] = v
+			}
+		}
+	}
+	return p, -best[capacity]
+}
+
+// scheduleMILP mimics the shape of the time-expanded sub-demand encoding
+// (internal/solve/exact.go): binary send decisions x[piece][epoch] with
+// delivery equalities, per-epoch capacity rows, and precedence couplings.
+func scheduleMILP(pieces, epochs int, seed uint64) *Problem {
+	g := &benchLCG{s: seed}
+	n := pieces * epochs
+	p := NewProblem(n)
+	idx := func(pc, t int) int { return pc*epochs + t }
+	for i := 0; i < n; i++ {
+		p.SetBinary(i)
+	}
+	// Each piece ships exactly once; later epochs cost more.
+	for pc := 0; pc < pieces; pc++ {
+		row := make([]lp.Term, epochs)
+		for t := 0; t < epochs; t++ {
+			row[t] = lp.Term{Var: idx(pc, t), Coeff: 1}
+			p.LP.SetObjective(idx(pc, t), float64(t+1))
+		}
+		p.LP.AddConstraint(row, lp.EQ, 1)
+	}
+	// Capacity: bounded sends per epoch.
+	capPerEpoch := (pieces + epochs - 1) / epochs
+	for t := 0; t < epochs; t++ {
+		row := make([]lp.Term, pieces)
+		for pc := 0; pc < pieces; pc++ {
+			row[pc] = lp.Term{Var: idx(pc, t), Coeff: 1}
+		}
+		p.LP.AddConstraint(row, lp.LE, float64(capPerEpoch))
+	}
+	// Precedence pairs: piece a ships no later than piece b.
+	for k := 0; k < pieces/2; k++ {
+		a, b := g.intn(pieces), g.intn(pieces)
+		if a == b {
+			continue
+		}
+		var row []lp.Term
+		for t := 0; t < epochs; t++ {
+			row = append(row, lp.Term{Var: idx(a, t), Coeff: float64(t)})
+			row = append(row, lp.Term{Var: idx(b, t), Coeff: -float64(t)})
+		}
+		p.LP.AddConstraint(row, lp.LE, 0)
+	}
+	return p
+}
+
+// BenchmarkMILPKnapsack is the headline solver micro-benchmark: a
+// branching-heavy knapsack solved to proved optimality.
+func BenchmarkMILPKnapsack(b *testing.B) {
+	p, want := hardKnapsack(22, 12345)
+	var nodes, iters int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			b.Fatalf("objective %g != %g", sol.Objective, want)
+		}
+		nodes, iters = sol.Nodes, sol.LPIters
+	}
+	b.ReportMetric(float64(nodes), "milp.nodes")
+	b.ReportMetric(float64(iters), "lp.pivots")
+}
+
+// BenchmarkMILPSchedule solves the time-expanded scheduling shape used by
+// the exact sub-demand engine.
+func BenchmarkMILPSchedule(b *testing.B) {
+	p := scheduleMILP(14, 5, 99)
+	var nodes, iters int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+		nodes, iters = sol.Nodes, sol.LPIters
+	}
+	b.ReportMetric(float64(nodes), "milp.nodes")
+	b.ReportMetric(float64(iters), "lp.pivots")
+}

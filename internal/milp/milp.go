@@ -7,6 +7,15 @@
 // the commercial solver the paper uses, preserving the encoding and the
 // accuracy/efficiency knobs (τ, E) while staying dependency-free.
 //
+// Nodes carry only their (branchVar, bound) delta against the parent;
+// each worker owns one resolvable tableau (lp.NewResolvableTableau) that
+// is re-solved warm per node — a right-hand-side patch plus a few dual
+// simplex pivots — instead of cloning and rebuilding the whole LP. A
+// worker pool runs the best-first search in parallel with a shared
+// incumbent; the incumbent tie-break is deterministic (lexicographically
+// smallest solution among equal objectives) so results are reproducible
+// across worker counts.
+//
 // The solver supports warm-start incumbents (SyCCL seeds it with the
 // greedy list schedule so a feasible answer exists at any time limit) and
 // deadline-bounded solving that returns the best incumbent found.
@@ -16,6 +25,7 @@ import (
 	"container/heap"
 	"errors"
 	"math"
+	"sync"
 	"time"
 
 	"syccl/internal/lp"
@@ -46,6 +56,10 @@ func (p *Problem) SetBinary(i int) {
 type Options struct {
 	TimeLimit time.Duration // 0: unlimited
 	MaxNodes  int           // 0: default 100000
+	// Workers is the number of parallel branch-and-bound workers
+	// (default 1). Results are reproducible across worker counts up to
+	// the deterministic incumbent tie-break; node counts are not.
+	Workers int
 	// Incumbent optionally seeds the search with a known feasible point;
 	// it must satisfy all constraints and integrality.
 	Incumbent []float64
@@ -64,6 +78,7 @@ const (
 	StatusFeasible                 // feasible incumbent, limit hit before proof
 	StatusInfeasible               // no integral point exists
 	StatusUnbounded
+	StatusUnknown // limit hit before any feasible point or proof
 )
 
 func (s Status) String() string {
@@ -93,15 +108,45 @@ type Solution struct {
 
 const intTol = 1e-6
 
+// node is one open branch-and-bound subproblem, stored as a delta
+// against its parent: the full bound box is reconstructed by walking the
+// parent chain (bounds only ever tighten, so application order is
+// irrelevant).
 type node struct {
-	lo, hi []float64 // overriding bounds
-	bound  float64   // parent LP bound (priority)
+	parent    *node
+	branchVar int
+	val       float64
+	isUpper   bool    // true: hi[branchVar] ← min(hi, val); false: lo ← max(lo, val)
+	bound     float64 // parent LP bound (priority)
+	seq       int64   // creation order: deterministic heap tie-break
+}
+
+// materialize reconstructs the node's bound box over the base bounds.
+func (nd *node) materialize(lo, hi, baseLo, baseHi []float64) {
+	copy(lo, baseLo)
+	copy(hi, baseHi)
+	for c := nd; c != nil && c.parent != nil; c = c.parent {
+		if c.isUpper {
+			if c.val < hi[c.branchVar] {
+				hi[c.branchVar] = c.val
+			}
+		} else {
+			if c.val > lo[c.branchVar] {
+				lo[c.branchVar] = c.val
+			}
+		}
+	}
 }
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].seq < h[j].seq
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -110,6 +155,34 @@ func (h *nodeHeap) Pop() interface{} {
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
+}
+
+// solver is the state shared by all branch-and-bound workers.
+type solver struct {
+	p              *Problem
+	n              int
+	baseLo, baseHi []float64
+	gap            float64
+	maxNodes       int
+	deadline       time.Time
+	nowFn          func() time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	h      nodeHeap
+	active int   // workers currently expanding a node
+	nodes  int   // nodes expanded (LP-solved)
+	iters  int   // LP pivots summed
+	seq    int64 // next node sequence number
+
+	haveInc   bool
+	best      float64 // incumbent objective (+Inf when none)
+	bestX     []float64
+	unbounded bool
+	stop      bool    // a limit fired (or unboundedness proved)
+	dropped   bool    // some subproblem was left unresolved
+	droppedLB float64 // min bound over unresolved subproblems
+	prunedLB  float64 // min bound over subtrees resolved by incumbent pruning
 }
 
 // Solve runs best-first branch-and-bound.
@@ -130,123 +203,290 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	if maxNodes <= 0 {
 		maxNodes = 100000
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 
-	sol := &Solution{Status: StatusInfeasible, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	s := &solver{
+		p: p, n: n,
+		gap:       opts.AbsGap,
+		maxNodes:  maxNodes,
+		deadline:  deadline,
+		nowFn:     nowFn,
+		best:      math.Inf(1),
+		droppedLB: math.Inf(1),
+		prunedLB:  math.Inf(1),
+	}
+	s.cond = sync.NewCond(&s.mu)
 	if opts.Incumbent != nil {
 		if !p.LP.Feasible(opts.Incumbent, 1e-6) || !integral(p, opts.Incumbent) {
 			return nil, errors.New("milp: provided incumbent is not feasible")
 		}
-		sol.Status = StatusFeasible
-		sol.X = append([]float64(nil), opts.Incumbent...)
-		sol.Objective = p.LP.Evaluate(opts.Incumbent)
+		s.haveInc = true
+		s.bestX = append([]float64(nil), opts.Incumbent...)
+		s.best = p.LP.Evaluate(opts.Incumbent)
 	}
 
-	baseLo := make([]float64, n)
-	baseHi := make([]float64, n)
+	s.baseLo = make([]float64, n)
+	s.baseHi = make([]float64, n)
 	for i := 0; i < n; i++ {
-		baseLo[i], baseHi[i] = p.LP.Bounds(i)
+		s.baseLo[i], s.baseHi[i] = p.LP.Bounds(i)
 	}
 
-	h := &nodeHeap{{lo: baseLo, hi: baseHi, bound: math.Inf(-1)}}
-	heap.Init(h)
+	s.h = nodeHeap{{bound: math.Inf(-1), seq: 0}}
+	heap.Init(&s.h)
+	s.seq = 1
 
-	exhausted := true
-	for h.Len() > 0 {
-		if sol.Nodes >= maxNodes {
-			exhausted = false
-			break
-		}
-		if !deadline.IsZero() && nowFn().After(deadline) {
-			exhausted = false
-			break
-		}
-		nd := heap.Pop(h).(*node)
-		// Bound pruning against the incumbent.
-		if nd.bound >= sol.Objective-opts.AbsGap-intTol {
-			// Best-first: every remaining node is at least as bad.
-			sol.Bound = math.Max(sol.Bound, nd.bound)
-			exhausted = true
-			break
-		}
-		sol.Nodes++
-
-		rel := p.LP.Clone()
-		for i := 0; i < n; i++ {
-			rel.SetBounds(i, nd.lo[i], nd.hi[i])
-		}
-		ls, err := rel.Solve()
-		if err != nil {
-			// Empty bounds from branching: infeasible child.
-			continue
-		}
-		sol.LPIters += ls.Iters
-		switch ls.Status {
-		case lp.StatusInfeasible:
-			continue
-		case lp.StatusUnbounded:
-			if sol.Status == StatusInfeasible {
-				sol.Status = StatusUnbounded
-				return sol, nil
-			}
-			continue
-		case lp.StatusIterLimit:
-			exhausted = false
-			continue
-		}
-		if ls.Objective >= sol.Objective-opts.AbsGap-intTol {
-			continue // cannot improve
-		}
-
-		// Find the most fractional integer variable.
-		branch := -1
-		worst := intTol
-		for i := 0; i < n; i++ {
-			if !p.Integer[i] {
-				continue
-			}
-			f := math.Abs(ls.X[i] - math.Round(ls.X[i]))
-			if f > worst {
-				worst = f
-				branch = i
-			}
-		}
-		if branch < 0 {
-			// Integral: new incumbent.
-			if ls.Objective < sol.Objective-intTol {
-				sol.Objective = ls.Objective
-				sol.X = roundIntegral(p, ls.X)
-				sol.Status = StatusFeasible
-			}
-			continue
-		}
-
-		floorV := math.Floor(ls.X[branch])
-		// Down child: x ≤ floor.
-		lo1 := append([]float64(nil), nd.lo...)
-		hi1 := append([]float64(nil), nd.hi...)
-		hi1[branch] = math.Min(hi1[branch], floorV)
-		if lo1[branch] <= hi1[branch]+intTol {
-			heap.Push(h, &node{lo: lo1, hi: hi1, bound: ls.Objective})
-		}
-		// Up child: x ≥ floor+1.
-		lo2 := append([]float64(nil), nd.lo...)
-		hi2 := append([]float64(nil), nd.hi...)
-		lo2[branch] = math.Max(lo2[branch], floorV+1)
-		if lo2[branch] <= hi2[branch]+intTol {
-			heap.Push(h, &node{lo: lo2, hi: hi2, bound: ls.Objective})
-		}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker()
+		}()
 	}
+	wg.Wait()
 
-	if sol.Status == StatusFeasible && exhausted && h.Len() == 0 {
-		sol.Status = StatusOptimal
-	} else if sol.Status == StatusFeasible && exhausted {
-		// Stopped because the best remaining bound met the incumbent.
-		sol.Status = StatusOptimal
-	}
-	if sol.Status == StatusOptimal {
-		sol.Bound = sol.Objective
+	sol := &Solution{Nodes: s.nodes, LPIters: s.iters}
+	switch {
+	case s.unbounded && !s.haveInc:
+		sol.Status = StatusUnbounded
+		sol.Objective = math.Inf(-1)
+		sol.Bound = math.Inf(-1)
+	case !s.dropped:
+		// Every subproblem was resolved: exhausted (possibly via pruning).
+		if s.haveInc {
+			sol.Status = StatusOptimal
+			sol.X = s.bestX
+			sol.Objective = s.best
+			sol.Bound = s.best
+		} else {
+			sol.Status = StatusInfeasible
+			sol.Objective = math.Inf(1)
+			sol.Bound = math.Inf(1)
+		}
+	default:
+		// A limit left subproblems unresolved: report the exact proved
+		// bound, the minimum over every unresolved or pruned subtree.
+		sol.Bound = math.Min(s.droppedLB, s.prunedLB)
+		if s.haveInc {
+			sol.Status = StatusFeasible
+			sol.X = s.bestX
+			sol.Objective = s.best
+			if sol.Bound > sol.Objective {
+				sol.Bound = sol.Objective
+			}
+		} else {
+			sol.Status = StatusUnknown
+			sol.Objective = math.Inf(1)
+		}
 	}
 	return sol, nil
+}
+
+// worker runs the branch-and-bound loop against its own warm tableau
+// until the heap drains or a limit fires.
+func (s *solver) worker() {
+	tab, _ := lp.NewResolvableTableau(s.p.LP) // nil tab → cold fallback per node
+	lo := make([]float64, s.n)
+	hi := make([]float64, s.n)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.h) == 0 && s.active > 0 && !s.stop {
+			s.cond.Wait()
+		}
+		if s.stop {
+			// Drain: every remaining open node is an unresolved subtree.
+			for _, nd := range s.h {
+				s.noteDropped(nd.bound)
+			}
+			s.h = s.h[:0]
+			s.cond.Broadcast()
+			return
+		}
+		if len(s.h) == 0 {
+			return // no open nodes, no active workers: exhausted
+		}
+		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && s.nowFn().After(s.deadline)) {
+			s.stop = true
+			s.cond.Broadcast()
+			continue
+		}
+		nd := heap.Pop(&s.h).(*node)
+		if nd.bound >= s.best-s.gap-intTol {
+			// Resolved by bound: the subtree cannot beat the incumbent.
+			if nd.bound < s.prunedLB {
+				s.prunedLB = nd.bound
+			}
+			continue
+		}
+		s.active++
+		s.nodes++
+		s.mu.Unlock()
+
+		ls := s.solveNode(tab, nd, lo, hi)
+
+		s.mu.Lock()
+		if ls != nil {
+			s.iters += ls.Iters
+		}
+		s.finishNode(nd, ls, lo, hi)
+		s.active--
+		s.cond.Broadcast()
+	}
+}
+
+// solveNode solves the node's LP relaxation, warm via the worker tableau
+// with a cold clone-and-rebuild fallback. Called without the lock; lo/hi
+// are the worker's scratch bound boxes. Returns nil when the relaxation
+// is infeasible or unusable.
+func (s *solver) solveNode(tab *lp.Tableau, nd *node, lo, hi []float64) *lp.Solution {
+	nd.materialize(lo, hi, s.baseLo, s.baseHi)
+	if tab != nil {
+		ls, err := tab.ReSolve(lo, hi)
+		if err == nil && s.trusted(ls, nd) {
+			return ls
+		}
+	}
+	return s.coldSolve(nd, lo, hi)
+}
+
+// trusted applies the warm-path safety nets: the child bound must not
+// undercut the parent bound (monotonicity), and integral optima must
+// verify against the original problem. A failure sends the node to the
+// cold path.
+func (s *solver) trusted(ls *lp.Solution, nd *node) bool {
+	if ls.Status != lp.StatusOptimal {
+		return true // infeasible/unbounded verdicts are checked upstream
+	}
+	if !math.IsInf(nd.bound, -1) && ls.Objective < nd.bound-1e-6 {
+		return false
+	}
+	if integral(s.p, ls.X) && !s.p.LP.Feasible(roundIntegral(s.p, ls.X), 1e-5) {
+		return false
+	}
+	return true
+}
+
+// coldSolve is the historical per-node path: clone the LP, tighten
+// bounds, rebuild, solve. It remains the fallback whenever the warm
+// tableau cannot absorb a bound change or fails a safety check.
+func (s *solver) coldSolve(nd *node, lo, hi []float64) *lp.Solution {
+	rel := s.p.LP.Clone()
+	for i := 0; i < s.n; i++ {
+		rel.SetBounds(i, lo[i], hi[i])
+	}
+	ls, err := rel.Solve()
+	if err != nil {
+		return nil // empty bounds from branching: infeasible child
+	}
+	return ls
+}
+
+// finishNode classifies the node's relaxation and, under the lock,
+// updates the incumbent or pushes the two children.
+func (s *solver) finishNode(nd *node, ls *lp.Solution, lo, hi []float64) {
+	if ls == nil {
+		return // infeasible child
+	}
+	switch ls.Status {
+	case lp.StatusInfeasible:
+		return
+	case lp.StatusUnbounded:
+		if !s.haveInc {
+			s.unbounded = true
+			s.stop = true
+		}
+		return
+	case lp.StatusIterLimit:
+		s.noteDropped(nd.bound)
+		return
+	}
+	// Find the most fractional integer variable.
+	branch := -1
+	worst := intTol
+	for i := 0; i < s.n; i++ {
+		if !s.p.Integer[i] {
+			continue
+		}
+		f := math.Abs(ls.X[i] - math.Round(ls.X[i]))
+		if f > worst {
+			worst = f
+			branch = i
+		}
+	}
+	if branch < 0 {
+		// Integral: candidate incumbent. Ties on the objective resolve to
+		// the lexicographically smallest solution so the result does not
+		// depend on node exploration order (and hence worker count).
+		x := roundIntegral(s.p, ls.X)
+		if s.betterIncumbent(ls.Objective, x) {
+			s.best = ls.Objective
+			s.bestX = x
+			s.haveInc = true
+		}
+		return
+	}
+	if ls.Objective >= s.best-s.gap-intTol {
+		if ls.Objective < s.prunedLB {
+			s.prunedLB = ls.Objective
+		}
+		return // cannot improve
+	}
+
+	floorV := math.Floor(ls.X[branch])
+	// Down child: x ≤ floor.
+	if lo[branch] <= math.Min(hi[branch], floorV)+intTol {
+		s.pushChild(&node{parent: nd, branchVar: branch, val: floorV, isUpper: true, bound: ls.Objective})
+	}
+	// Up child: x ≥ floor+1.
+	if math.Max(lo[branch], floorV+1) <= hi[branch]+intTol {
+		s.pushChild(&node{parent: nd, branchVar: branch, val: floorV + 1, isUpper: false, bound: ls.Objective})
+	}
+}
+
+func (s *solver) pushChild(c *node) {
+	c.seq = s.seq
+	s.seq++
+	if s.stop {
+		s.noteDropped(c.bound)
+		return
+	}
+	heap.Push(&s.h, c)
+}
+
+func (s *solver) noteDropped(bound float64) {
+	s.dropped = true
+	if bound < s.droppedLB {
+		s.droppedLB = bound
+	}
+}
+
+// betterIncumbent reports whether (obj, x) replaces the current
+// incumbent: strictly better objective, or an equal objective (within
+// intTol) with a lexicographically smaller solution vector.
+func (s *solver) betterIncumbent(obj float64, x []float64) bool {
+	if !s.haveInc {
+		return true
+	}
+	if obj < s.best-intTol {
+		return true
+	}
+	if obj > s.best+intTol {
+		return false
+	}
+	for i := range x {
+		if x[i] < s.bestX[i]-intTol {
+			return true
+		}
+		if x[i] > s.bestX[i]+intTol {
+			return false
+		}
+	}
+	return false
 }
 
 func integral(p *Problem, x []float64) bool {

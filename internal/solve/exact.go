@@ -55,7 +55,7 @@ func exactSolve(d *Demand, tau float64, opts Options) (*SubSchedule, error) {
 		}
 		hs := sp.Child("milp.horizon")
 		hs.SetInt("T", int64(T))
-		sched, err := solveHorizon(d, tau, T, maxBinaries, remain, hs)
+		sched, err := solveHorizon(d, tau, T, maxBinaries, remain, opts.MILPWorkers, hs)
 		hs.End()
 		if err == errTooLarge {
 			return nil, err
@@ -77,7 +77,7 @@ func exactSolve(d *Demand, tau float64, opts Options) (*SubSchedule, error) {
 // (no error) when the horizon is infeasible or unproven within the time
 // limit. The span (nil-safe) receives the MILP's size, node count, and
 // simplex pivot totals.
-func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Duration, sp *obs.Span) (*SubSchedule, error) {
+func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Duration, workers int, sp *obs.Span) (*SubSchedule, error) {
 	n := d.NumGPUs
 	type key struct{ p, i, j, t int }
 	varOf := make(map[key]int)
@@ -218,7 +218,7 @@ func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Durati
 		}
 	}
 
-	sol, err := milp.Solve(prob, milp.Options{TimeLimit: budget, MaxNodes: 4000})
+	sol, err := milp.Solve(prob, milp.Options{TimeLimit: budget, MaxNodes: 4000, Workers: workers})
 	if err != nil {
 		return nil, fmt.Errorf("solve: horizon %d: %w", T, err)
 	}

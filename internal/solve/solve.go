@@ -57,6 +57,9 @@ type Options struct {
 	Seed int64
 	// Restarts is the randomized restart count (default 16).
 	Restarts int
+	// MILPWorkers is the branch-and-bound worker count of the exact
+	// engine (default 1; results are deterministic across counts).
+	MILPWorkers int
 	// Span optionally parents this solve's instrumentation (engine
 	// sub-spans, lp.pivots / milp.nodes counters). Nil: no recording.
 	// It does not influence the solve and must be excluded from any

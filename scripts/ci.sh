@@ -21,4 +21,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke =="
+# One short sample per solver benchmark (writes to a temp file, not
+# BENCH_solver.json): catches benchmark bit-rot without CI-grade noise
+# overwriting the recorded numbers.
+scripts/bench.sh -quick
+
 echo "CI checks passed."
