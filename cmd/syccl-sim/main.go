@@ -21,13 +21,7 @@ import (
 )
 
 func main() {
-	topoSpec := flag.String("topo", "a100x16", "topology spec")
-	xmlPath := flag.String("xml", "", "MSCCL XML schedule file")
-	kind := flag.String("collective", "", "optional: validate against this collective kind")
-	sizeSpec := flag.String("size", "", "aggregate data size for validation/busbw")
-	timeline := flag.Bool("timeline", false, "print a per-GPU activity chart and event log")
-	events := flag.Int("events", 20, "event-log rows with -timeline (0 = all)")
-	tracePath := flag.String("trace", "", "write the simulated timeline as Chrome trace JSON (open in Perfetto)")
+	opts := cli.NewSimFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -35,14 +29,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *xmlPath == "" {
-		fail(fmt.Errorf("-xml is required"))
-	}
-	top, err := cli.ParseTopology(*topoSpec)
+	top, col, err := opts.Resolve()
 	if err != nil {
 		fail(err)
 	}
-	data, err := os.ReadFile(*xmlPath)
+	data, err := os.ReadFile(opts.XML)
 	if err != nil {
 		fail(err)
 	}
@@ -62,20 +53,20 @@ func main() {
 		fmt.Printf("  dim %d (%s): utilization %.1f%%\n", d, top.Dim(d).Name, res.Utilization(top, d)*100)
 	}
 
-	if *timeline {
+	if opts.Timeline {
 		tl := trace.Build(top, sched, res)
 		fmt.Println()
 		fmt.Print(tl.Gantt(top, 72))
 		fmt.Println()
 		fmt.Print(tl.DimSummary(top, res))
 		fmt.Println()
-		fmt.Print(tl.EventLog(*events))
+		fmt.Print(tl.EventLog(opts.Events))
 	}
 
-	if *tracePath != "" {
+	if opts.TracePath != "" {
 		rec := obs.NewRecorder()
 		trace.EmitChrome(rec, top, sched, res)
-		f, err := os.Create(*tracePath)
+		f, err := os.Create(opts.TracePath)
 		if err != nil {
 			fail(err)
 		}
@@ -85,18 +76,10 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *tracePath)
+		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", opts.TracePath)
 	}
 
-	if *kind != "" && *sizeSpec != "" {
-		size, err := cli.ParseSize(*sizeSpec)
-		if err != nil {
-			fail(err)
-		}
-		col, err := cli.BuildCollective(*kind, top.NumGPUs(), size)
-		if err != nil {
-			fail(err)
-		}
+	if col != nil {
 		if err := sched.Validate(col); err != nil {
 			fail(fmt.Errorf("schedule does not satisfy %v: %w", col.Kind, err))
 		}

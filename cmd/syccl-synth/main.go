@@ -28,20 +28,7 @@ import (
 )
 
 func main() {
-	topoSpec := flag.String("topo", "a100x16", "topology spec")
-	kind := flag.String("collective", "allgather", "collective kind")
-	flag.StringVar(kind, "coll", "allgather", "alias for -collective")
-	sizeSpec := flag.String("size", "64M", "aggregate data size (e.g. 1K, 64M, 1G)")
-	system := flag.String("system", "syccl", "synthesizer: syccl | teccl | nccl")
-	out := flag.String("out", "", "write the schedule as MSCCL XML to this file")
-	e1 := flag.Float64("e1", 3.0, "coarse-pass epoch knob E1")
-	e2 := flag.Float64("e2", 0.5, "fine-pass epoch knob E2")
-	workers := flag.Int("workers", 0, "parallel solver instances (0 = GOMAXPROCS)")
-	budget := flag.Duration("teccl-budget", 10*time.Second, "TECCL solve budget")
-	seed := flag.Int64("seed", 0, "random seed")
-	explain := flag.Bool("explain", false, "print the winning sketch combination in the paper's notation (syccl only)")
-	tracePath := flag.String("trace", "", "write a Chrome trace of the synthesis run (open in Perfetto)")
-	summary := flag.Bool("obs-summary", false, "print a span/counter summary of the run")
+	opts := cli.NewSynthFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -49,31 +36,23 @@ func main() {
 		os.Exit(1)
 	}
 
-	top, err := cli.ParseTopology(*topoSpec)
-	if err != nil {
-		fail(err)
-	}
-	size, err := cli.ParseSize(*sizeSpec)
-	if err != nil {
-		fail(err)
-	}
-	col, err := cli.BuildCollective(*kind, top.NumGPUs(), size)
+	top, col, err := opts.Resolve()
 	if err != nil {
 		fail(err)
 	}
 
 	// Only pay for recording when an exporter will consume it.
 	var rec *obs.Recorder
-	if *tracePath != "" || *summary {
+	if opts.TracePath != "" || opts.Summary {
 		rec = obs.NewRecorder()
 	}
 
 	var sched *schedule.Schedule
 	var predicted float64
 	start := time.Now()
-	switch *system {
+	switch opts.System {
 	case "syccl":
-		res, err := core.Synthesize(top, col, core.Options{E1: *e1, E2: *e2, Workers: *workers, Seed: *seed, Obs: rec})
+		res, err := core.Synthesize(top, col, core.Options{E1: opts.E1, E2: opts.E2, Workers: opts.Workers, Seed: opts.Seed, Obs: rec})
 		if err != nil {
 			fail(err)
 		}
@@ -82,16 +61,16 @@ func main() {
 			res.Phases.Search.Round(time.Microsecond), res.Phases.Combine.Round(time.Microsecond),
 			res.Phases.Solve1.Round(time.Millisecond), res.Phases.Solve2.Round(time.Millisecond),
 			res.Stats.Sketches, res.Stats.Candidates, res.Stats.SolverCalls, res.Stats.CacheHits, res.Stats.CacheMisses)
-		if *explain && res.Combination != nil {
+		if opts.Explain && res.Combination != nil {
 			fmt.Print(res.Combination.DescribeCombination(top))
 		}
 	case "teccl":
-		res, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: *budget, Seed: *seed, Rec: rec})
+		res, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: opts.Budget, Seed: opts.Seed, Rec: rec})
 		if err != nil {
 			fail(err)
 		}
 		sched, predicted = res.Schedule, res.Time
-		fmt.Printf("teccl: %d greedy rounds within %v budget\n", res.Rounds, *budget)
+		fmt.Printf("teccl: %d greedy rounds within %v budget\n", res.Rounds, opts.Budget)
 	case "nccl":
 		sp := rec.StartSpan("nccl.schedule")
 		so := sim.DefaultOptions()
@@ -102,14 +81,12 @@ func main() {
 			fail(err)
 		}
 		sched, predicted = s, t
-	default:
-		fail(fmt.Errorf("unknown system %q", *system))
 	}
 	synthTime := time.Since(start)
 
 	bus := metrics.BusBandwidth(col.Kind, col.NumGPUs, metrics.DataBytes(col), predicted)
 	fmt.Printf("%s %s on %s (%s): %d transfers, predicted %.3gs, busbw %.1f GBps, synthesized in %v\n",
-		*system, col.Kind, top.Name, *sizeSpec, len(sched.Transfers), predicted, bus/1e9,
+		opts.System, col.Kind, top.Name, opts.Size, len(sched.Transfers), predicted, bus/1e9,
 		synthTime.Round(time.Millisecond))
 
 	if rec != nil {
@@ -119,12 +96,12 @@ func main() {
 			trace.EmitChrome(rec, top, sched, res)
 		}
 	}
-	if *summary {
+	if opts.Summary {
 		fmt.Println()
 		fmt.Print(rec.Summary())
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+	if opts.TracePath != "" {
+		f, err := os.Create(opts.TracePath)
 		if err != nil {
 			fail(err)
 		}
@@ -134,17 +111,17 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *tracePath)
+		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", opts.TracePath)
 	}
 
-	if *out != "" {
-		data, err := mxml.Marshal(sched, mxml.Params{Name: fmt.Sprintf("%s-%s-%s", *system, *kind, *sizeSpec)})
+	if opts.Out != "" {
+		data, err := mxml.Marshal(sched, mxml.Params{Name: fmt.Sprintf("%s-%s-%s", opts.System, opts.Collective, opts.Size)})
 		if err != nil {
 			fail(err)
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := os.WriteFile(opts.Out, data, 0o644); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+		fmt.Printf("wrote %s (%d bytes)\n", opts.Out, len(data))
 	}
 }

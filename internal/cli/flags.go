@@ -1,0 +1,123 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"syccl/internal/collective"
+	"syccl/internal/topology"
+)
+
+// SynthFlags holds every syccl-synth option. Registering the flags on an
+// injected FlagSet (rather than the process-global one) keeps parsing and
+// the error paths unit-testable.
+type SynthFlags struct {
+	Topo       string
+	Collective string
+	Size       string
+	System     string
+	Out        string
+	E1, E2     float64
+	Workers    int
+	Budget     time.Duration
+	Seed       int64
+	Explain    bool
+	TracePath  string
+	Summary    bool
+}
+
+// NewSynthFlags registers syccl-synth's flags (including the -coll alias
+// for -collective) on fs and returns the backing struct.
+func NewSynthFlags(fs *flag.FlagSet) *SynthFlags {
+	f := &SynthFlags{}
+	fs.StringVar(&f.Topo, "topo", "a100x16", "topology spec")
+	fs.StringVar(&f.Collective, "collective", "allgather", "collective kind")
+	fs.StringVar(&f.Collective, "coll", "allgather", "alias for -collective")
+	fs.StringVar(&f.Size, "size", "64M", "aggregate data size (e.g. 1K, 64M, 1G)")
+	fs.StringVar(&f.System, "system", "syccl", "synthesizer: syccl | teccl | nccl")
+	fs.StringVar(&f.Out, "out", "", "write the schedule as MSCCL XML to this file")
+	fs.Float64Var(&f.E1, "e1", 3.0, "coarse-pass epoch knob E1")
+	fs.Float64Var(&f.E2, "e2", 0.5, "fine-pass epoch knob E2")
+	fs.IntVar(&f.Workers, "workers", 0, "parallel solver instances (0 = GOMAXPROCS)")
+	fs.DurationVar(&f.Budget, "teccl-budget", 10*time.Second, "TECCL solve budget")
+	fs.Int64Var(&f.Seed, "seed", 0, "random seed")
+	fs.BoolVar(&f.Explain, "explain", false, "print the winning sketch combination in the paper's notation (syccl only)")
+	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace of the synthesis run (open in Perfetto)")
+	fs.BoolVar(&f.Summary, "obs-summary", false, "print a span/counter summary of the run")
+	return f
+}
+
+// Resolve turns the parsed flag values into a topology and collective,
+// surfacing the unknown-topology / bad-size / unknown-collective errors.
+func (f *SynthFlags) Resolve() (*topology.Topology, *collective.Collective, error) {
+	top, err := ParseTopology(f.Topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	size, err := ParseSize(f.Size)
+	if err != nil {
+		return nil, nil, err
+	}
+	col, err := BuildCollective(f.Collective, top.NumGPUs(), size)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch f.System {
+	case "syccl", "teccl", "nccl":
+	default:
+		return nil, nil, fmt.Errorf("unknown system %q", f.System)
+	}
+	return top, col, nil
+}
+
+// SimFlags holds every syccl-sim option.
+type SimFlags struct {
+	Topo       string
+	XML        string
+	Collective string
+	Size       string
+	Timeline   bool
+	Events     int
+	TracePath  string
+}
+
+// NewSimFlags registers syccl-sim's flags on fs and returns the backing
+// struct.
+func NewSimFlags(fs *flag.FlagSet) *SimFlags {
+	f := &SimFlags{}
+	fs.StringVar(&f.Topo, "topo", "a100x16", "topology spec")
+	fs.StringVar(&f.XML, "xml", "", "MSCCL XML schedule file")
+	fs.StringVar(&f.Collective, "collective", "", "optional: validate against this collective kind")
+	fs.StringVar(&f.Collective, "coll", "", "alias for -collective")
+	fs.StringVar(&f.Size, "size", "", "aggregate data size for validation/busbw")
+	fs.BoolVar(&f.Timeline, "timeline", false, "print a per-GPU activity chart and event log")
+	fs.IntVar(&f.Events, "events", 20, "event-log rows with -timeline (0 = all)")
+	fs.StringVar(&f.TracePath, "trace", "", "write the simulated timeline as Chrome trace JSON (open in Perfetto)")
+	return f
+}
+
+// Resolve validates the parsed flag values and builds the topology. The
+// optional validation collective is resolved only when both -collective and
+// -size are present (matching the tool's contract).
+func (f *SimFlags) Resolve() (*topology.Topology, *collective.Collective, error) {
+	if f.XML == "" {
+		return nil, nil, fmt.Errorf("-xml is required")
+	}
+	top, err := ParseTopology(f.Topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	var col *collective.Collective
+	if f.Collective != "" && f.Size != "" {
+		size, err := ParseSize(f.Size)
+		if err != nil {
+			return nil, nil, err
+		}
+		col, err = BuildCollective(f.Collective, top.NumGPUs(), size)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return top, col, nil
+}

@@ -180,9 +180,29 @@ func (s *Schedule) Validate(col *collective.Collective) error {
 	has := make([]map[int]bool, len(s.Pieces))
 	originOf := func(p int) map[int]bool {
 		set := make(map[int]bool)
-		for _, c := range s.Pieces[p].Chunks {
-			set[col.Chunks[c].Src] = true
+		chunks := s.Pieces[p].Chunks
+		if len(chunks) == 0 {
+			return set
 		}
+		if col.Reduce && len(chunks) > 1 {
+			// A reduction slice: every contributor starts with its own
+			// partial aggregate.
+			for _, c := range chunks {
+				set[col.Chunks[c].Src] = true
+			}
+			return set
+		}
+		// A forward piece is the concatenation of its chunks: only a GPU
+		// sourcing every one of them holds the piece before any transfer
+		// runs. (Sourcing a single chunk of a multi-chunk piece is not
+		// possession of the piece.)
+		src := col.Chunks[chunks[0]].Src
+		for _, c := range chunks[1:] {
+			if col.Chunks[c].Src != src {
+				return set
+			}
+		}
+		set[src] = true
 		return set
 	}
 	for p := range s.Pieces {
@@ -296,6 +316,12 @@ func (s *Schedule) Mirror(remap func(Piece) Piece) *Schedule {
 	return m
 }
 
+// PhaseOrderBase is the Order offset Concat adds to phase-b transfers so
+// they sort after every phase-a transfer on shared ports. Consumers (e.g.
+// the verify oracle) use it to split a concatenated schedule back into its
+// phases.
+const PhaseOrderBase = 1 << 20
+
 // Concat appends b after a with cross-phase dependencies: each transfer of
 // b whose source GPU g received data in a (or that has no deps of its own)
 // additionally depends on all of a's transfers delivering into g. This
@@ -322,7 +348,7 @@ func Concat(a, b *Schedule) *Schedule {
 			Dst:   t.Dst,
 			Piece: t.Piece + pieceOff,
 			Dim:   t.Dim,
-			Order: t.Order + 1<<20, // phase-b transfers order after phase a
+			Order: t.Order + PhaseOrderBase, // phase-b transfers order after phase a
 		}
 		for _, d := range t.Deps {
 			nt.Deps = append(nt.Deps, d+transOff)

@@ -261,3 +261,179 @@ func TestClone(t *testing.T) {
 		t.Error("Clone shares memory with original")
 	}
 }
+
+// TestConcatEdgeCases covers the empty-phase, piece-ID renumbering, and
+// Order-offset behaviors of Concat in one table.
+func TestConcatEdgeCases(t *testing.T) {
+	two := func() *Schedule {
+		s := &Schedule{NumGPUs: 2}
+		p := s.AddPiece(64, 0)
+		s.AddTransfer(Transfer{Src: 0, Dst: 1, Piece: p, Order: 3})
+		return s
+	}
+	cases := []struct {
+		name          string
+		a, b          *Schedule
+		wantPieces    int
+		wantTransfers int
+		check         func(t *testing.T, out *Schedule)
+	}{
+		{
+			name: "both empty",
+			a:    &Schedule{NumGPUs: 2}, b: &Schedule{NumGPUs: 2},
+			wantPieces: 0, wantTransfers: 0,
+		},
+		{
+			name: "empty a keeps b unbarriered",
+			a:    &Schedule{NumGPUs: 2}, b: two(),
+			wantPieces: 1, wantTransfers: 1,
+			check: func(t *testing.T, out *Schedule) {
+				if len(out.Transfers[0].Deps) != 0 {
+					t.Errorf("b-root gained deps %v with empty phase a", out.Transfers[0].Deps)
+				}
+				if out.Transfers[0].Order != 3+PhaseOrderBase {
+					t.Errorf("order = %d, want %d", out.Transfers[0].Order, 3+PhaseOrderBase)
+				}
+			},
+		},
+		{
+			name: "empty b is identity on a",
+			a:    two(), b: &Schedule{NumGPUs: 2},
+			wantPieces: 1, wantTransfers: 1,
+			check: func(t *testing.T, out *Schedule) {
+				if out.Transfers[0].Order != 3 {
+					t.Errorf("phase-a order changed: %d", out.Transfers[0].Order)
+				}
+			},
+		},
+		{
+			name: "disjoint piece IDs renumber",
+			a:    two(), b: two(),
+			wantPieces: 2, wantTransfers: 2,
+			check: func(t *testing.T, out *Schedule) {
+				if out.Transfers[0].Piece != 0 || out.Transfers[1].Piece != 1 {
+					t.Errorf("pieces = %d, %d", out.Transfers[0].Piece, out.Transfers[1].Piece)
+				}
+				// b's root transfer starts at GPU 0, which received nothing
+				// in phase a, so no cross-phase dep is added; 0→1 did
+				// arrive at GPU 1 but that is not b's source here.
+				if got := out.Transfers[1].Deps; len(got) != 0 {
+					t.Errorf("unexpected barrier deps %v", got)
+				}
+				if out.Transfers[1].Order-out.Transfers[0].Order != PhaseOrderBase {
+					t.Errorf("orders %d, %d", out.Transfers[0].Order, out.Transfers[1].Order)
+				}
+			},
+		},
+		{
+			name: "cross-phase barrier lands on b roots",
+			a:    two(),
+			b: func() *Schedule {
+				s := &Schedule{NumGPUs: 2}
+				p := s.AddPiece(64, 1)
+				s.AddTransfer(Transfer{Src: 1, Dst: 0, Piece: p}) // starts where a delivered
+				return s
+			}(),
+			wantPieces: 2, wantTransfers: 2,
+			check: func(t *testing.T, out *Schedule) {
+				if got := out.Transfers[1].Deps; len(got) != 1 || got[0] != 0 {
+					t.Errorf("barrier deps = %v, want [0]", got)
+				}
+			},
+		},
+		{
+			name: "b-internal deps shift by a's transfer count",
+			a:    two(),
+			b: func() *Schedule {
+				s := &Schedule{NumGPUs: 2}
+				p := s.AddPiece(64, 0)
+				t0 := s.AddTransfer(Transfer{Src: 0, Dst: 1, Piece: p})
+				s.AddTransfer(Transfer{Src: 1, Dst: 0, Piece: p, Deps: []int{t0}, Order: 1})
+				return s
+			}(),
+			wantPieces: 2, wantTransfers: 3,
+			check: func(t *testing.T, out *Schedule) {
+				if got := out.Transfers[2].Deps; len(got) != 1 || got[0] != 1 {
+					t.Errorf("shifted deps = %v, want [1]", got)
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out := Concat(c.a, c.b)
+			if len(out.Pieces) != c.wantPieces || len(out.Transfers) != c.wantTransfers {
+				t.Fatalf("got %d pieces / %d transfers, want %d / %d",
+					len(out.Pieces), len(out.Transfers), c.wantPieces, c.wantTransfers)
+			}
+			if c.check != nil {
+				c.check(t, out)
+			}
+		})
+	}
+}
+
+func TestConcatPanicsOnGPUMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Concat accepted mismatched GPU counts")
+		}
+	}()
+	Concat(&Schedule{NumGPUs: 2}, &Schedule{NumGPUs: 4})
+}
+
+// TestMirrorEdgeCases covers the empty schedule, dependency reversal,
+// order negation, and the nil/identity remap contract.
+func TestMirrorEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		m := (&Schedule{NumGPUs: 4}).Mirror(nil)
+		if len(m.Pieces) != 0 || len(m.Transfers) != 0 || m.NumGPUs != 4 {
+			t.Fatalf("mirror of empty: %+v", m)
+		}
+	})
+	t.Run("reverses deps and negates order", func(t *testing.T) {
+		s := &Schedule{NumGPUs: 3}
+		p := s.AddPiece(64, 0)
+		t0 := s.AddTransfer(Transfer{Src: 0, Dst: 1, Piece: p, Order: 1})
+		s.AddTransfer(Transfer{Src: 1, Dst: 2, Piece: p, Deps: []int{t0}, Order: 2})
+		m := s.Mirror(nil)
+		if m.Transfers[0].Src != 1 || m.Transfers[0].Dst != 0 {
+			t.Errorf("endpoints not swapped: %+v", m.Transfers[0])
+		}
+		if got := m.Transfers[0].Deps; len(got) != 1 || got[0] != 1 {
+			t.Errorf("deps not reversed: %v", got)
+		}
+		if len(m.Transfers[1].Deps) != 0 {
+			t.Errorf("tail kept deps: %v", m.Transfers[1].Deps)
+		}
+		if m.Transfers[0].Order != -1 || m.Transfers[1].Order != -2 {
+			t.Errorf("orders = %d, %d", m.Transfers[0].Order, m.Transfers[1].Order)
+		}
+	})
+	t.Run("remap rewrites pieces", func(t *testing.T) {
+		s := &Schedule{NumGPUs: 2}
+		s.AddPiece(64, 0)
+		m := s.Mirror(func(p Piece) Piece {
+			return Piece{Chunks: []int{0, 1, 2}, Bytes: p.Bytes}
+		})
+		if len(m.Pieces[0].Chunks) != 3 || m.Pieces[0].Bytes != 64 {
+			t.Errorf("remap not applied: %+v", m.Pieces[0])
+		}
+		if len(s.Pieces[0].Chunks) != 1 {
+			t.Errorf("remap mutated the source schedule: %+v", s.Pieces[0])
+		}
+	})
+	t.Run("double mirror is the identity on structure", func(t *testing.T) {
+		s := chainBroadcast(4, 100)
+		mm := s.Mirror(nil).Mirror(nil)
+		if len(mm.Transfers) != len(s.Transfers) {
+			t.Fatalf("transfer count changed: %d vs %d", len(mm.Transfers), len(s.Transfers))
+		}
+		for i := range s.Transfers {
+			a, b := s.Transfers[i], mm.Transfers[i]
+			if a.Src != b.Src || a.Dst != b.Dst || a.Order != b.Order || a.Piece != b.Piece {
+				t.Errorf("transfer %d: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -71,7 +71,7 @@ type Result struct {
 // Utilization returns the mean egress utilization of dimension d: busy
 // time divided by (port count × makespan).
 func (r *Result) Utilization(top *topology.Topology, d int) float64 {
-	if r.Time <= 0 {
+	if r.Time <= 0 || d < 0 || d >= len(r.PortBusy) || d >= top.NumDims() {
 		return 0
 	}
 	ports := 0

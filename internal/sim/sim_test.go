@@ -282,3 +282,51 @@ func TestEmptySchedule(t *testing.T) {
 		t.Errorf("empty schedule: %+v", r)
 	}
 }
+
+func TestUtilizationGuards(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	r, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-range dimensions report a finite fraction in [0, 1].
+	for d := 0; d < top.NumDims(); d++ {
+		u := r.Utilization(top, d)
+		if math.IsNaN(u) || math.IsInf(u, 0) || u < 0 || u > 1 {
+			t.Errorf("dim %d: utilization %g", d, u)
+		}
+	}
+	// Out-of-range dimensions and links must return 0, not panic or index
+	// past PortBusy.
+	for _, d := range []int{-1, top.NumDims(), top.NumDims() + 5} {
+		if u := r.Utilization(top, d); u != 0 {
+			t.Errorf("dim %d: utilization %g, want 0", d, u)
+		}
+	}
+	for _, gc := range [][2]int{{-1, 0}, {8, 0}, {0, -1}, {0, 99}} {
+		if u := r.LinkUtilization(gc[0], gc[1]); u != 0 {
+			t.Errorf("link (%d,%d): utilization %g, want 0", gc[0], gc[1], u)
+		}
+	}
+}
+
+func TestUtilizationZeroDuration(t *testing.T) {
+	// An empty schedule has zero makespan; every utilization must be an
+	// exact 0 rather than 0/0.
+	top := testTopo()
+	r, err := Simulate(top, &schedule.Schedule{NumGPUs: 8}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < top.NumDims(); d++ {
+		if u := r.Utilization(top, d); u != 0 || math.IsNaN(u) {
+			t.Errorf("dim %d: utilization %g", d, u)
+		}
+	}
+	if u := r.LinkUtilization(0, 0); u != 0 {
+		t.Errorf("link utilization %g", u)
+	}
+}

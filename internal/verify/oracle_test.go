@@ -1,0 +1,219 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"syccl/internal/collective"
+	"syccl/internal/schedule"
+)
+
+// chain builds a 0→1→…→n-1 relay of one piece.
+func chain(n int, bytes float64) *schedule.Schedule {
+	s := &schedule.Schedule{NumGPUs: n}
+	p := s.AddPiece(bytes, 0)
+	prev := -1
+	for g := 1; g < n; g++ {
+		t := schedule.Transfer{Src: g - 1, Dst: g, Piece: p, Dim: 0, Order: g}
+		if prev >= 0 {
+			t.Deps = []int{prev}
+		}
+		prev = s.AddTransfer(t)
+	}
+	return s
+}
+
+func TestOracleAcceptsChainBroadcast(t *testing.T) {
+	col := collective.Broadcast(4, 0, 100)
+	if err := CheckSchedule(col, chain(4, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleRejectsUndelivered(t *testing.T) {
+	col := collective.Broadcast(4, 0, 100)
+	s := chain(3, 100)
+	s.NumGPUs = 4
+	err := CheckSchedule(col, s)
+	if err == nil || !strings.Contains(err.Error(), "delivers") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOracleRejectsPhantomSender(t *testing.T) {
+	col := collective.Broadcast(3, 0, 100)
+	s := &schedule.Schedule{NumGPUs: 3}
+	p := s.AddPiece(100, 0)
+	s.AddTransfer(schedule.Transfer{Src: 2, Dst: 1, Piece: p, Dim: 0})
+	if err := CheckSchedule(col, s); err == nil {
+		t.Fatal("accepted send from a GPU guaranteed nothing of the piece")
+	}
+}
+
+func TestOracleRejectsRelayWithoutArrivalDep(t *testing.T) {
+	col := collective.Broadcast(3, 0, 100)
+	s := &schedule.Schedule{NumGPUs: 3}
+	p := s.AddPiece(100, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 2, Piece: p, Dim: 0}) // no dep
+	if err := CheckSchedule(col, s); err == nil {
+		t.Fatal("accepted relay without a guaranteed arrival")
+	}
+}
+
+func TestOracleRejectsCycle(t *testing.T) {
+	col := collective.Broadcast(3, 0, 100)
+	s := &schedule.Schedule{NumGPUs: 3}
+	p := s.AddPiece(100, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Deps: []int{1}})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 2, Piece: p, Deps: []int{0}})
+	err := CheckSchedule(col, s)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestOracleCatchesDoubleReduction is the oracle's reason to exist: a
+// schedule that folds one GPU's contribution into the root twice — once
+// directly, once through a relay. schedule.Validate's dependency-structure
+// checks accept it (every transfer individually obeys the inbound-dep
+// rule), but the result is numerically wrong. The replay oracle tracks
+// contribution multiplicity and rejects it.
+func TestOracleCatchesDoubleReduction(t *testing.T) {
+	col := collective.Reduce(3, 0, 100)
+	s := &schedule.Schedule{NumGPUs: 3}
+	p := s.AddPiece(100, 0, 1) // the combined slice: contributions of GPUs 1 and 2
+	t0 := s.AddTransfer(schedule.Transfer{Src: 1, Dst: 2, Piece: p, Dim: 0})
+	s.AddTransfer(schedule.Transfer{Src: 2, Dst: 0, Piece: p, Dim: 0, Deps: []int{t0}, Order: 1})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 0, Piece: p, Dim: 0, Order: 2}) // GPU 1's contribution again
+	if err := s.Validate(col); err != nil {
+		t.Fatalf("precondition: Validate must accept this schedule, got %v", err)
+	}
+	err := CheckSchedule(col, s)
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("oracle must reject the double reduction, got %v", err)
+	}
+}
+
+func TestOracleRejectsRelayDoubleFold(t *testing.T) {
+	// GPU 2 receives GPU 1's contribution and also sources nothing new,
+	// then a second inbound transfer repeats the contribution before 2
+	// forwards: the fold at the relay itself is doubled.
+	col := collective.Reduce(4, 0, 100)
+	s := &schedule.Schedule{NumGPUs: 4}
+	p := s.AddPiece(100, 0, 1, 2)
+	a := s.AddTransfer(schedule.Transfer{Src: 1, Dst: 3, Piece: p, Dim: 0})
+	b := s.AddTransfer(schedule.Transfer{Src: 1, Dst: 3, Piece: p, Dim: 0, Order: 1})
+	s.AddTransfer(schedule.Transfer{Src: 3, Dst: 0, Piece: p, Dim: 0, Deps: []int{a, b}, Order: 2})
+	err := CheckSchedule(col, s)
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOracleAcceptsReductionTree(t *testing.T) {
+	// 3→1, then 1→0 and 2→0: a proper binary-ish reduction into root 0.
+	col := collective.Reduce(4, 0, 100)
+	s := &schedule.Schedule{NumGPUs: 4}
+	p := s.AddPiece(100, 0, 1, 2)
+	t0 := s.AddTransfer(schedule.Transfer{Src: 3, Dst: 1, Piece: p, Dim: 0})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 0, Piece: p, Dim: 0, Deps: []int{t0}, Order: 1})
+	s.AddTransfer(schedule.Transfer{Src: 2, Dst: 0, Piece: p, Dim: 0, Order: 1})
+	if err := CheckSchedule(col, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(col); err != nil {
+		t.Fatalf("cross-check: Validate rejects the same tree: %v", err)
+	}
+}
+
+func TestOracleSplitPieces(t *testing.T) {
+	// Broadcast split into two half-chunks on different routes.
+	col := collective.Broadcast(3, 0, 100)
+	s := &schedule.Schedule{NumGPUs: 3}
+	pa := s.AddPiece(50, 0)
+	pb := s.AddPiece(50, 0)
+	a0 := s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: pa})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 2, Piece: pa, Deps: []int{a0}})
+	b0 := s.AddTransfer(schedule.Transfer{Src: 0, Dst: 2, Piece: pb})
+	s.AddTransfer(schedule.Transfer{Src: 2, Dst: 1, Piece: pb, Deps: []int{b0}})
+	if err := CheckSchedule(col, s); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping one route starves both non-root GPUs of half the chunk.
+	s.Transfers = s.Transfers[:2]
+	if err := CheckSchedule(col, s); err == nil {
+		t.Fatal("accepted half-delivered broadcast")
+	}
+}
+
+func TestOracleOverReduction(t *testing.T) {
+	// Two full-size pieces both carrying GPU 1's contribution to the root:
+	// 2× the chunk folded in. Exactly-once must fail on byte accounting.
+	col := collective.Reduce(2, 0, 100)
+	s := &schedule.Schedule{NumGPUs: 2}
+	pa := s.AddPiece(100, 0)
+	pb := s.AddPiece(100, 0)
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 0, Piece: pa})
+	s.AddTransfer(schedule.Transfer{Src: 1, Dst: 0, Piece: pb, Order: 1})
+	err := CheckSchedule(col, s)
+	if err == nil || !strings.Contains(err.Error(), "over-reduced") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOracleRejectsMissingCrossPhaseBarrier(t *testing.T) {
+	// A hand-built two-GPU AllReduce where the AllGather phase does not
+	// wait for the reduction to land: the barrier check must fire.
+	n := 2
+	rs := &schedule.Schedule{NumGPUs: n}
+	// ReduceScatter on 2 GPUs: chunk 0 = (dst 0 ← src 1), chunk 1 = (dst 1 ← src 0).
+	p0 := rs.AddPiece(50, 0)
+	p1 := rs.AddPiece(50, 1)
+	rs.AddTransfer(schedule.Transfer{Src: 1, Dst: 0, Piece: p0, Dim: 0})
+	rs.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p1, Dim: 0})
+	ag := &schedule.Schedule{NumGPUs: n}
+	q0 := ag.AddPiece(50, 0)
+	q1 := ag.AddPiece(50, 1)
+	ag.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: q0, Dim: 0})
+	ag.AddTransfer(schedule.Transfer{Src: 1, Dst: 0, Piece: q1, Dim: 0})
+
+	col := collective.AllReduce(n, 100)
+	good := schedule.Concat(rs, ag)
+	if err := CheckSchedule(col, good); err != nil {
+		t.Fatalf("well-formed AllReduce rejected: %v", err)
+	}
+	// Strip the cross-phase dependencies: now GPU 0 gathers its slice
+	// before the reduction into it completed.
+	bad := good.Clone()
+	for i := range bad.Transfers {
+		if bad.Transfers[i].Order >= schedule.PhaseOrderBase {
+			bad.Transfers[i].Deps = nil
+		}
+	}
+	err := CheckSchedule(col, bad)
+	if err == nil || !strings.Contains(err.Error(), "wait for reduction") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOracleRejectsNonPhasedAllReduce(t *testing.T) {
+	col := collective.AllReduce(2, 100)
+	s := &schedule.Schedule{NumGPUs: 2}
+	p := s.AddPiece(50, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	if err := CheckSchedule(col, s); err == nil {
+		t.Fatal("accepted a single-phase AllReduce schedule")
+	}
+}
+
+func TestOracleCrossChecksConstructorSpec(t *testing.T) {
+	// A corrupted collective (wrong chunk source) must be flagged by the
+	// independent Table-1 re-derivation even before replay.
+	col := collective.AllGather(4, 64)
+	col.Chunks[2].Src = 3
+	err := CheckSchedule(col, &schedule.Schedule{NumGPUs: 4})
+	if err == nil || !strings.Contains(err.Error(), "sourced at") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"syccl/internal/schedule"
+	"syccl/internal/topology"
+)
+
+// RefResult is the reference simulator's outcome: completion time and the
+// per-transfer arrival times that differential tests compare against
+// internal/sim to 1e-9.
+type RefResult struct {
+	Time     float64
+	FinishAt []float64
+	Events   int
+}
+
+// ReferenceSimulate is a deliberately naive O(E²) discrete replay of the
+// α-β port model: transfers sharing a GPU port (per physical port class)
+// are served FIFO in schedule order, a transfer may start once its
+// dependencies' matching payload fraction has arrived, and transmitting b
+// bytes occupies the ports for β·b while arriving after α + β·b.
+//
+// It shares no implementation code with internal/sim: instead of a Kahn
+// topological sort refined by a priority heap, it repeatedly scans the
+// whole transfer list (O(E) per pick, O(E²) total) for the ready transfer
+// with the smallest (Order, index) — the same serving sequence, arrived at
+// the slow way. blockBytes and maxBlocks mirror sim.Options.BlockBytes and
+// sim.Options.MaxBlocks (zero blockBytes disables pipelining; maxBlocks
+// defaults to 8).
+func ReferenceSimulate(top *topology.Topology, s *schedule.Schedule, blockBytes float64, maxBlocks int) (*RefResult, error) {
+	n := top.NumGPUs()
+	if s.NumGPUs != n {
+		return nil, fmt.Errorf("verify: schedule spans %d GPUs, topology %d", s.NumGPUs, n)
+	}
+	if maxBlocks <= 0 {
+		maxBlocks = 8
+	}
+	for i, t := range s.Transfers {
+		if t.Dim < 0 || t.Dim >= top.NumDims() {
+			return nil, fmt.Errorf("verify: transfer %d uses dimension %d of %d", i, t.Dim, top.NumDims())
+		}
+		if !top.SameGroup(t.Dim, t.Src, t.Dst) {
+			return nil, fmt.Errorf("verify: transfer %d crosses groups in dimension %d", i, t.Dim)
+		}
+		for _, d := range t.Deps {
+			if d < 0 || d >= len(s.Transfers) {
+				return nil, fmt.Errorf("verify: transfer %d depends on missing transfer %d", i, d)
+			}
+		}
+	}
+
+	// Per-transfer block plan. A transfer of b bytes becomes
+	// ceil(b/blockBytes) blocks, capped at maxBlocks.
+	numBlocks := make([]int, len(s.Transfers))
+	blockDone := make([][]float64, len(s.Transfers))
+	for i, t := range s.Transfers {
+		nb := 1
+		if b := s.Pieces[t.Piece].Bytes; blockBytes > 0 && b > blockBytes {
+			nb = int(math.Ceil(b / blockBytes))
+			if nb > maxBlocks {
+				nb = maxBlocks
+			}
+		}
+		numBlocks[i] = nb
+		blockDone[i] = make([]float64, nb)
+	}
+
+	classes := top.NumPortClasses()
+	egressFree := make([][]float64, n)
+	ingressFree := make([][]float64, n)
+	for g := 0; g < n; g++ {
+		egressFree[g] = make([]float64, classes)
+		ingressFree[g] = make([]float64, classes)
+	}
+
+	res := &RefResult{FinishAt: make([]float64, len(s.Transfers))}
+	done := make([]bool, len(s.Transfers))
+	for served := 0; served < len(s.Transfers); served++ {
+		// Naive selection: scan every transfer for the ready one with the
+		// smallest (Order, index).
+		pick := -1
+		for i, t := range s.Transfers {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, d := range t.Deps {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if pick < 0 || t.Order < s.Transfers[pick].Order {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("verify: dependency cycle among the %d unserved transfers",
+				len(s.Transfers)-served)
+		}
+
+		t := s.Transfers[pick]
+		dim := top.Dim(t.Dim)
+		class := dim.PortClass
+		nb := numBlocks[pick]
+		per := s.Pieces[t.Piece].Bytes / float64(nb)
+		for b := 0; b < nb; b++ {
+			// A block may go once the dependency block covering the same
+			// payload fraction has arrived.
+			var ready float64
+			for _, d := range t.Deps {
+				dnb := numBlocks[d]
+				db := ((b+1)*dnb + nb - 1) / nb // ceil((b+1)·dnb / nb)
+				db--
+				if db < 0 {
+					db = 0
+				}
+				if db >= dnb {
+					db = dnb - 1
+				}
+				if f := blockDone[d][db]; f > ready {
+					ready = f
+				}
+			}
+			start := ready
+			if f := egressFree[t.Src][class]; f > start {
+				start = f
+			}
+			if f := ingressFree[t.Dst][class]; f > start {
+				start = f
+			}
+			busy := dim.Beta * per
+			finish := start + dim.Alpha + busy
+			egressFree[t.Src][class] = start + busy
+			ingressFree[t.Dst][class] = start + busy
+			blockDone[pick][b] = finish
+			res.Events++
+			if finish > res.Time {
+				res.Time = finish
+			}
+		}
+		res.FinishAt[pick] = blockDone[pick][nb-1]
+		done[pick] = true
+	}
+	return res, nil
+}

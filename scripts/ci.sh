@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# CI gate: formatting, vet, build, and the full test suite under the race
-# detector. Run from anywhere; operates on the repository root.
+# CI gate: formatting, vet, build, the full test suite, a race-detector
+# shard over the concurrency-heavy packages, and a short native-fuzzing
+# smoke over internal/verify. Run from anywhere; operates on the
+# repository root. FUZZTIME (default 10s) bounds each fuzz target.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FUZZTIME=${FUZZTIME:-10s}
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -18,8 +22,15 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (core/milp/sim/verify shard) =="
+go test -race ./internal/core/ ./internal/milp/ ./internal/sim/ ./internal/verify/
+
+echo "== fuzz smoke ($FUZZTIME per target) =="
+go test ./internal/verify/ -run='^$' -fuzz='^FuzzValidate$' -fuzztime="$FUZZTIME"
+go test ./internal/verify/ -run='^$' -fuzz='^FuzzSimParity$' -fuzztime="$FUZZTIME"
 
 echo "== bench smoke =="
 # One short sample per solver benchmark (writes to a temp file, not
