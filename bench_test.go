@@ -6,6 +6,7 @@
 package syccl_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -209,7 +210,7 @@ func BenchmarkSketchSearch(b *testing.B) {
 	top := topology.H800Rail(8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if out := sketch.SearchBroadcast(top, 0, sketch.SearchOptions{}); len(out) == 0 {
+		if out := sketch.SearchBroadcast(context.Background(), top, 0, sketch.SearchOptions{}); len(out) == 0 {
 			b.Fatal("no sketches")
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"syccl/internal/engine"
 	"syccl/internal/experiments"
 	"syccl/internal/obs"
 )
@@ -124,6 +125,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	quick := flag.Bool("quick", false, "trimmed sweeps for fast runs")
 	budget := flag.Duration("teccl-budget", 0, "TECCL per-case budget (0: default)")
+	timeout := flag.Duration("timeout", 0, "per-synthesis deadline; on expiry the best schedule found so far is used (0 = no limit)")
 	seed := flag.Int64("seed", 0, "random seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace covering every synthesis run (open in Perfetto)")
 	flag.Parse()
@@ -146,10 +148,13 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Quick: *quick, TECCLBudget: *budget, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, TECCLBudget: *budget, Seed: *seed, Timeout: *timeout}
 	if *tracePath != "" {
 		cfg.Obs = obs.NewRecorder()
 	}
+	// One engine across every experiment: repeated topologies and demand
+	// shapes inside a sweep hit its caches instead of re-solving.
+	cfg.Engine = engine.New(engine.Options{Obs: cfg.Obs})
 	targets := ids
 	if *run != "all" {
 		if _, ok := all[*run]; !ok {

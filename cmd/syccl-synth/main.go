@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 
 	"syccl/internal/cli"
 	"syccl/internal/core"
+	"syccl/internal/engine"
 	"syccl/internal/metrics"
 	"syccl/internal/mxml"
 	"syccl/internal/nccl"
@@ -47,12 +49,20 @@ func main() {
 		rec = obs.NewRecorder()
 	}
 
+	ctx := context.Background()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+
 	var sched *schedule.Schedule
 	var predicted float64
 	start := time.Now()
 	switch opts.System {
 	case "syccl":
-		res, err := core.Synthesize(top, col, core.Options{E1: opts.E1, E2: opts.E2, Workers: opts.Workers, Seed: opts.Seed, Obs: rec})
+		eng := engine.New(engine.Options{Obs: rec})
+		res, err := eng.Plan(ctx, top, col, core.Options{E1: opts.E1, E2: opts.E2, Workers: opts.Workers, Seed: opts.Seed, Obs: rec})
 		if err != nil {
 			fail(err)
 		}
@@ -61,6 +71,9 @@ func main() {
 			res.Phases.Search.Round(time.Microsecond), res.Phases.Combine.Round(time.Microsecond),
 			res.Phases.Solve1.Round(time.Millisecond), res.Phases.Solve2.Round(time.Millisecond),
 			res.Stats.Sketches, res.Stats.Candidates, res.Stats.SolverCalls, res.Stats.CacheHits, res.Stats.CacheMisses)
+		if res.Partial {
+			fmt.Printf("note: -timeout %v expired mid-synthesis; reporting the best schedule found so far\n", opts.Timeout)
+		}
 		if opts.Explain && res.Combination != nil {
 			fmt.Print(res.Combination.DescribeCombination(top))
 		}

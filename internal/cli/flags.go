@@ -21,6 +21,7 @@ type SynthFlags struct {
 	E1, E2     float64
 	Workers    int
 	Budget     time.Duration
+	Timeout    time.Duration
 	Seed       int64
 	Explain    bool
 	TracePath  string
@@ -41,6 +42,7 @@ func NewSynthFlags(fs *flag.FlagSet) *SynthFlags {
 	fs.Float64Var(&f.E2, "e2", 0.5, "fine-pass epoch knob E2")
 	fs.IntVar(&f.Workers, "workers", 0, "parallel solver instances (0 = GOMAXPROCS)")
 	fs.DurationVar(&f.Budget, "teccl-budget", 10*time.Second, "TECCL solve budget")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "synthesis deadline (e.g. 500ms, 10s); on expiry the best schedule found so far is returned (0 = no limit)")
 	fs.Int64Var(&f.Seed, "seed", 0, "random seed")
 	fs.BoolVar(&f.Explain, "explain", false, "print the winning sketch combination in the paper's notation (syccl only)")
 	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace of the synthesis run (open in Perfetto)")

@@ -61,6 +61,26 @@ func TestSynthFlagsCollAlias(t *testing.T) {
 	}
 }
 
+func TestSynthFlagsTimeout(t *testing.T) {
+	f, err := newSynth(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Timeout != 0 {
+		t.Fatalf("default -timeout = %v, want 0 (no limit)", f.Timeout)
+	}
+	f, err = newSynth(t, "-timeout", "750ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Timeout != 750*time.Millisecond {
+		t.Fatalf("-timeout 750ms parsed as %v", f.Timeout)
+	}
+	if _, err = newSynth(t, "-timeout", "banana"); err == nil {
+		t.Fatal("malformed -timeout accepted")
+	}
+}
+
 func TestSynthFlagsTrace(t *testing.T) {
 	f, err := newSynth(t, "-trace", "run.json", "-obs-summary")
 	if err != nil {

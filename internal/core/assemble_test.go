@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"syccl/internal/collective"
@@ -42,7 +43,7 @@ func TestAssemblyCellsMergedPerGroupStage(t *testing.T) {
 	top := topology.H800Small(2)
 	col := collective.AllGather(8, 1024)
 	// Two-sketch combination: hierarchical sketches rooted at 0 and 4.
-	base := sketch.SearchBroadcast(top, 0, sketch.SearchOptions{})[0]
+	base := sketch.SearchBroadcast(context.Background(), top, 0, sketch.SearchOptions{})[0]
 	combo := sketch.ExpandAllToAll(top, base)
 	a, err := newAssembly(top, col, combo)
 	if err != nil {
@@ -73,7 +74,7 @@ func TestAssemblyRejectsForeignRoot(t *testing.T) {
 	// Broadcast collective rooted at 0 but sketch rooted at 1: the
 	// sketch's root chunk does not exist.
 	col := collective.Broadcast(8, 0, 1024)
-	sk := sketch.SearchBroadcast(top, 1, sketch.SearchOptions{})[0]
+	sk := sketch.SearchBroadcast(context.Background(), top, 1, sketch.SearchOptions{})[0]
 	if _, err := newAssembly(top, col, sketch.Single(sk)); err == nil {
 		t.Error("accepted sketch rooted at a GPU without a chunk")
 	}
@@ -82,7 +83,7 @@ func TestAssemblyRejectsForeignRoot(t *testing.T) {
 func TestBuildDependencyWiring(t *testing.T) {
 	top := topology.H800Small(2)
 	col := collective.Broadcast(8, 0, 1024)
-	sk := sketch.SearchBroadcast(top, 0, sketch.SearchOptions{})
+	sk := sketch.SearchBroadcast(context.Background(), top, 0, sketch.SearchOptions{})
 	// Pick a 2-stage hierarchical sketch so cross-stage deps exist.
 	var hier *sketch.Sketch
 	for _, s := range sk {

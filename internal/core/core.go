@@ -44,7 +44,14 @@ type Options struct {
 	Search sketch.SearchOptions
 	// Engine overrides the sub-demand solving engine (default auto).
 	Engine solve.Engine
-	// SolveTimeLimit bounds each exact sub-demand solve.
+	// SolveTimeLimit, when positive, wall-clock-caps each exact
+	// sub-demand solve (truncated refinement keeps the greedy
+	// incumbent). The default 0 leaves the exact engine bounded only by
+	// its deterministic effort limits (the MaxBinaries size gate plus
+	// per-solve node and simplex-pivot budgets), which is what keeps schedules
+	// byte-identical across Workers counts: wall-clock truncation fires
+	// at load-dependent points, so setting this trades reproducibility
+	// for a hard per-solve latency bound.
 	SolveTimeLimit time.Duration
 	// Seed drives randomized components.
 	Seed int64
@@ -60,6 +67,34 @@ type Options struct {
 	// timings, exportable as a Chrome trace (internal/obs). Nil disables
 	// all instrumentation at zero cost.
 	Obs *obs.Recorder
+	// SolveCache optionally serves sub-demand solutions across synthesis
+	// requests (internal/engine owns the implementation). Nil disables
+	// cross-request reuse; the per-run isomorphism batching is unaffected.
+	SolveCache SolveCache
+	// SketchCache optionally serves sketch-search results across requests,
+	// keyed by topology fingerprint. Nil disables reuse.
+	SketchCache SketchCache
+}
+
+// SolveCache is a cross-request store of solved sub-schedules. Lookup
+// must return a sub-schedule that satisfies d under the given solve-option
+// signature — verbatim for an exact signature match (this is what makes
+// warm re-plans bit-identical), or remapped by the implementation for an
+// isomorphic match — and nil on a miss. Implementations must be safe for
+// concurrent use and must not retain or mutate the caller's arguments
+// after Store returns.
+type SolveCache interface {
+	Lookup(d *solve.Demand, optsSig string) *solve.SubSchedule
+	Store(d *solve.Demand, optsSig string, s *solve.SubSchedule)
+}
+
+// SketchCache is a cross-request store of sketch-search results. Lookup
+// reports a hit with ok=true (an empty sketch list is a valid cached
+// result). Returned sketches may be read freely but must not be mutated.
+// Implementations must be safe for concurrent use.
+type SketchCache interface {
+	Lookup(key string) (sketches []*sketch.Sketch, ok bool)
+	Store(key string, sketches []*sketch.Sketch)
 }
 
 func (o Options) withDefaults() Options {
@@ -81,11 +116,8 @@ func (o Options) withDefaults() Options {
 	if o.MaxCombos <= 0 {
 		o.MaxCombos = 12
 	}
-	if o.Sim == (sim.Options{}) {
+	if o.Sim.IsZero() {
 		o.Sim = sim.DefaultOptions()
-	}
-	if o.SolveTimeLimit <= 0 {
-		o.SolveTimeLimit = 500 * time.Millisecond
 	}
 	// Fan the recorder out to the sub-systems that accept one, unless the
 	// caller wired its own.
@@ -132,6 +164,11 @@ type Result struct {
 	Combination *sketch.Combination
 	Phases      Phases
 	Stats       Stats
+	// Partial marks an anytime result: the context was cancelled or its
+	// deadline expired mid-synthesis, and Schedule is the best fully
+	// validated candidate found by then rather than the full pipeline's
+	// choice. Partial schedules are still complete, correct schedules.
+	Partial bool
 }
 
 // candidate is one sketch combination under evaluation.

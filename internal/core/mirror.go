@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"syccl/internal/collective"
@@ -86,16 +87,19 @@ func mirrorSchedule(fwd *schedule.Schedule, fwdCol, col *collective.Collective) 
 // AllGather over n-th sized slices, concatenated with per-GPU phase
 // dependencies. The AllGather pipeline runs once; the ReduceScatter phase
 // reuses its mirror.
-func synthesizeAllReduce(top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span) (*Result, error) {
+func synthesizeAllReduce(ctx context.Context, top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span) (*Result, error) {
 	n := col.NumGPUs
 	per := col.ChunkSize // collective.AllReduce stores the per-slice size
 	agCol := collective.AllGather(n, per)
 	rsCol := collective.ReduceScatter(n, per)
 
-	agRes, err := synthesizeForward(top, agCol, opts, parent)
+	agRes, err := synthesizeForward(ctx, top, agCol, opts, parent)
 	if err != nil {
 		return nil, err
 	}
+	// Mirroring, concatenation, and the final simulation are cheap
+	// finishing work and run even when ctx is already cancelled, so a
+	// Partial AllGather phase still yields a complete AllReduce schedule.
 	ms := parent.Child("mirror")
 	rs := mirrorSchedule(agRes.Schedule, agCol, rsCol)
 	if err := rs.Validate(rsCol); err != nil {

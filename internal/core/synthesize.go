@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -24,6 +25,23 @@ import (
 // synthesized as the mirror of their one-to-all inverses (§4.1, §4.3);
 // AllReduce is synthesized as ReduceScatter followed by AllGather (§4.3).
 func Synthesize(top *topology.Topology, col *collective.Collective, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), top, col, opts)
+}
+
+// SynthesizeContext is Synthesize under a context, with anytime
+// semantics. The expensive phases — sketch search and sub-demand solving —
+// poll the context cooperatively, while the cheap finishing work (schedule
+// mapping, assembly, simulation, mirroring) always runs to completion, so
+// a run cancelled mid-pipeline still returns its best fully-validated
+// candidate with Result.Partial set. Only a context cancelled before any
+// candidate completed the coarse pass yields ctx.Err().
+func SynthesizeContext(ctx context.Context, top *topology.Topology, col *collective.Collective, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if err := col.Validate(); err != nil {
 		return nil, err
@@ -41,7 +59,7 @@ func Synthesize(top *topology.Topology, col *collective.Collective, opts Options
 
 	switch col.Kind {
 	case collective.KindAllReduce:
-		return synthesizeAllReduce(top, col, opts, root)
+		return synthesizeAllReduce(ctx, top, col, opts, root)
 	}
 
 	forwardKind, mirrored := kindForward(col.Kind)
@@ -50,11 +68,14 @@ func Synthesize(top *topology.Topology, col *collective.Collective, opts Options
 		forwardCol = forwardCollective(col, forwardKind)
 	}
 
-	res, err := synthesizeForward(top, forwardCol, opts, root)
+	res, err := synthesizeForward(ctx, top, forwardCol, opts, root)
 	if err != nil {
 		return nil, err
 	}
 	if mirrored {
+		// Mirroring and re-simulation are cheap finishing work: they run
+		// even under a cancelled context so a Partial forward result still
+		// becomes a complete, timed reduction schedule.
 		ms := root.Child("mirror")
 		res.Schedule = mirrorSchedule(res.Schedule, forwardCol, col)
 		r, err := sim.Simulate(top, res.Schedule, opts.Sim)
@@ -85,7 +106,7 @@ func seedCounters(rec *obs.Recorder) {
 
 // synthesizeForward runs the two-phase pipeline for forward (non-reduce)
 // collectives. The parent span (nil-safe) roots the per-phase spans.
-func synthesizeForward(top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span) (*Result, error) {
+func synthesizeForward(ctx context.Context, top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span) (*Result, error) {
 	res := &Result{}
 
 	// Phase 1a: sketch search (§4.1).
@@ -103,21 +124,21 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Simulate(top, sched, opts.Sim)
+		r, err := sim.SimulateCtx(ctx, top, sched, opts.Sim)
 		if err != nil {
 			return nil, err
 		}
 		res.Schedule, res.Time = sched, r.Time
 		return res, validateForward(sched, col)
 	case collective.KindBroadcast:
-		sketches = sketch.SearchBroadcast(top, col.Root, opts.Search)
+		sketches = searchCached(ctx, top, col.Root, false, opts)
 	case collective.KindScatter:
-		sketches = sketch.SearchScatter(top, col.Root, opts.Search)
+		sketches = searchCached(ctx, top, col.Root, true, opts)
 	case collective.KindAllGather:
-		sketches = sketch.SearchBroadcast(top, 0, opts.Search)
+		sketches = searchCached(ctx, top, 0, false, opts)
 		allToAll = true
 	case collective.KindAlltoAll:
-		sketches = sketch.SearchScatter(top, 0, opts.Search)
+		sketches = searchCached(ctx, top, 0, true, opts)
 		allToAll = true
 	default:
 		return nil, fmt.Errorf("core: unsupported forward collective %v", col.Kind)
@@ -125,6 +146,9 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	searchSpan.SetInt("sketches", int64(len(sketches)))
 	searchSpan.End()
 	if len(sketches) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: no sketches found for %v on %s", col.Kind, top.Name)
 	}
 	res.Phases.Search = time.Since(t0)
@@ -156,7 +180,7 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	if opts.Engine != solve.EngineAuto {
 		eng1 = opts.Engine
 	}
-	coarse := realizeAll(top, col, combos, e1, eng1, opts, &res.Stats, coarseSpan)
+	coarse := realizeAll(ctx, top, col, combos, e1, eng1, opts, &res.Stats, coarseSpan)
 	cands := make([]*candidate, 0, len(combos))
 	for ci, combo := range combos {
 		if coarse[ci].ok {
@@ -178,6 +202,11 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	coarseSpan.SetInt("realized", int64(len(cands)))
 	coarseSpan.End()
 	if len(cands) == 0 {
+		// Nothing completed the coarse pass: a cancelled run has no
+		// anytime result to offer, so report the cancellation itself.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: all %d candidates failed to realize", len(combos))
 	}
 	sort.SliceStable(cands, func(a, b int) bool { return cands[a].time < cands[b].time })
@@ -185,6 +214,17 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	if opts.DisableTwoStep {
 		best := cands[0]
 		res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
+		res.Partial = ctx.Err() != nil
+		return res, validateForward(res.Schedule, col)
+	}
+
+	// Anytime exit: the deadline passed during (or right after) the coarse
+	// pass. The surviving candidates are complete, simulated schedules —
+	// return the best of them instead of starting the fine pass.
+	if ctx.Err() != nil {
+		best := cands[0]
+		res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
+		res.Partial = true
 		return res, validateForward(res.Schedule, col)
 	}
 
@@ -209,7 +249,7 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	for i, c := range keep {
 		fineCombos[i] = c.combo
 	}
-	fine := realizeAll(top, col, fineCombos, opts.E2, opts.Engine, opts, &res.Stats, fineSpan)
+	fine := realizeAll(ctx, top, col, fineCombos, opts.E2, opts.Engine, opts, &res.Stats, fineSpan)
 	best := keep[0]
 	bestTime := best.time
 	bestSched := best.sched
@@ -226,7 +266,49 @@ func synthesizeForward(top *topology.Topology, col *collective.Collective, opts 
 	res.Phases.Solve2 = time.Since(t0)
 	fineSpan.End()
 	res.Schedule, res.Time, res.Combination = bestSched, bestTime, best.combo
+	// A cancellation mid-fine-pass degrades gracefully: candidates whose
+	// fine solves did not finish keep their coarse-pass schedules, and the
+	// result is flagged Partial.
+	res.Partial = ctx.Err() != nil
 	return res, validateForward(res.Schedule, col)
+}
+
+// searchCached serves the sketch search from opts.SketchCache when one is
+// wired. Only complete (non-cancelled) searches are stored: a search
+// truncated by cancellation would poison later requests with a partial
+// sketch set.
+func searchCached(ctx context.Context, top *topology.Topology, root int, scatter bool, opts Options) []*sketch.Sketch {
+	var key string
+	if opts.SketchCache != nil {
+		key = sketchCacheKey(top, root, scatter, opts.Search)
+		if cached, ok := opts.SketchCache.Lookup(key); ok {
+			return cached
+		}
+	}
+	var out []*sketch.Sketch
+	if scatter {
+		out = sketch.SearchScatter(ctx, top, root, opts.Search)
+	} else {
+		out = sketch.SearchBroadcast(ctx, top, root, opts.Search)
+	}
+	if opts.SketchCache != nil && ctx.Err() == nil {
+		opts.SketchCache.Store(key, out)
+	}
+	return out
+}
+
+// sketchCacheKey identifies a search by topology fingerprint, shape, root,
+// and every search option that influences the result set (Rec is
+// instrumentation only and excluded).
+func sketchCacheKey(top *topology.Topology, root int, scatter bool, so sketch.SearchOptions) string {
+	shape := "b"
+	if scatter {
+		shape = "s"
+	}
+	return fmt.Sprintf("%s|%s%d|k%d,n%d,m%d,c%d,p1:%t,p2:%t,ff:%t",
+		top.Fingerprint(), shape, root,
+		so.MaxStages, so.MaxNodes, so.MaxSketches, so.MaxCountChoices,
+		so.DisablePrune1, so.DisablePrune2, so.FullFanoutOnly)
 }
 
 // sendRecvSchedule routes a one-to-one transfer: direct where a shared
@@ -292,7 +374,14 @@ type realized struct {
 // setting. Nil combinations (injected fixed schedules) and failed
 // candidates yield ok=false for their slot only; a failed
 // representative solve marks exactly the candidates that depend on it.
-func realizeAll(top *topology.Topology, col *collective.Collective, combos []*sketch.Combination,
+//
+// When opts.SolveCache is wired, each pooled sub-demand is first offered
+// to the cross-request cache; only the representatives of classes with no
+// hit reach the solver, and every freshly computed per-demand
+// sub-schedule is stored back (unless the context was cancelled, since a
+// truncated exact solve may have returned its greedy incumbent, which
+// must not masquerade as the converged solution in later requests).
+func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Collective, combos []*sketch.Combination,
 	e float64, engine solve.Engine, opts Options, stats *Stats, span *obs.Span) []realized {
 
 	n := len(combos)
@@ -327,6 +416,19 @@ func realizeAll(top *topology.Topology, col *collective.Collective, combos []*sk
 		}
 	}
 
+	// Cross-request cache: consult the engine-owned store per demand
+	// before class batching. An exact-signature hit returns the stored
+	// solution verbatim, which is what makes warm re-plans bit-identical
+	// to the cold run that populated the cache.
+	solveSig := fmt.Sprintf("e%.9g|g%d|t%d|s%d",
+		e, engine, opts.SolveTimeLimit.Nanoseconds(), opts.Seed)
+	cached := make([]*solve.SubSchedule, len(demands))
+	if opts.SolveCache != nil {
+		parallelFor(len(demands), opts.Workers, func(i int) {
+			cached[i] = opts.SolveCache.Lookup(demands[i], solveSig)
+		})
+	}
+
 	var repOf []int
 	var mapFromRep []isomorph.Mapping
 	if opts.DisableIsomorphCache {
@@ -354,19 +456,28 @@ func realizeAll(top *topology.Topology, col *collective.Collective, combos []*sk
 		MILPWorkers: opts.MILPWorkers,
 	}
 
-	// Solve each class representative once, in parallel. Durations are
+	// Solve each class representative once, in parallel; representatives
+	// already served by the cross-request cache are skipped. Durations are
 	// collected per slot and reduced serially below so MaxSolve does not
 	// depend on goroutine interleaving.
 	solved := make([]*solve.SubSchedule, len(demands))
+	toSolve := make([]int, 0, len(reps))
+	for _, i := range reps {
+		if cached[i] != nil {
+			solved[i] = cached[i]
+		} else {
+			toSolve = append(toSolve, i)
+		}
+	}
 	durs := make([]time.Duration, len(demands))
-	parallelFor(len(reps), opts.Workers, func(k int) {
-		i := reps[k]
+	parallelFor(len(toSolve), opts.Workers, func(k int) {
+		i := toSolve[k]
 		ws := span.ChildLane("solve.subdemand")
 		ws.SetInt("demand", int64(i))
 		so := solveOpts
 		so.Span = ws
 		start := time.Now()
-		sub, err := solve.Solve(demands[i], so)
+		sub, err := solve.SolveCtx(ctx, demands[i], so)
 		durs[i] = time.Since(start)
 		ws.End()
 		if err != nil {
@@ -374,7 +485,7 @@ func realizeAll(top *topology.Topology, col *collective.Collective, combos []*sk
 		}
 		solved[i] = sub
 	})
-	for _, i := range reps {
+	for _, i := range toSolve {
 		if solved[i] == nil {
 			continue
 		}
@@ -385,9 +496,11 @@ func realizeAll(top *topology.Topology, col *collective.Collective, combos []*sk
 			stats.MaxSolve = durs[i]
 		}
 	}
-	// Non-representatives whose class solved are served by mapping.
+	// Non-representatives whose class solved are served by mapping (the
+	// in-run isomorphism cache; cross-request hits are counted by the
+	// engine, not here).
 	for i := range demands {
-		if repOf[i] != i && solved[repOf[i]] != nil {
+		if repOf[i] != i && cached[i] == nil && solved[repOf[i]] != nil {
 			stats.CacheHits++
 			opts.Obs.Count("cache.hits", 1)
 		}
@@ -404,17 +517,27 @@ func realizeAll(top *topology.Topology, col *collective.Collective, combos []*sk
 		bycell := make(map[cellKey]*solve.SubSchedule, len(a.keys))
 		for local, k := range a.keys {
 			g := offs[ci] + local
-			r := repOf[g]
-			if solved[r] == nil {
+			var sub *solve.SubSchedule
+			switch {
+			case cached[g] != nil:
+				sub = cached[g]
+			case repOf[g] == g:
+				sub = solved[g]
+			case solved[repOf[g]] != nil:
+				sub = isomorph.MapSchedule(solved[repOf[g]], mapFromRep[g])
+			}
+			if sub == nil {
 				cs.SetStr("outcome", "unrealizable")
 				cs.End()
 				return
 			}
-			if r == g {
-				bycell[k] = solved[g]
-			} else {
-				bycell[k] = isomorph.MapSchedule(solved[r], mapFromRep[g])
+			// Each pooled demand belongs to exactly one candidate, so this
+			// store runs once per demand. Cancelled passes skip the store:
+			// see the function comment.
+			if opts.SolveCache != nil && cached[g] == nil && ctx.Err() == nil {
+				opts.SolveCache.Store(demands[g], solveSig, sub)
 			}
+			bycell[k] = sub
 		}
 		sched, err := a.build(bycell)
 		if err != nil {
@@ -422,6 +545,9 @@ func realizeAll(top *topology.Topology, col *collective.Collective, combos []*sk
 			cs.End()
 			return
 		}
+		// Simulation of an assembled candidate is cheap and bounded;
+		// honoring the context here would discard completed solver work
+		// and break the anytime guarantee, so it runs to completion.
 		r, err := sim.Simulate(top, sched, opts.Sim)
 		if err != nil {
 			cs.SetStr("outcome", "sim-failed")

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"syccl/internal/collective"
+	"syccl/internal/core"
+	"syccl/internal/topology"
+)
+
+// benchCase is the workload both benchmarks share, so warm-vs-cold is an
+// apples-to-apples comparison of cache effect alone.
+func benchCase() (*topology.Topology, *collective.Collective, core.Options) {
+	top := topology.H800Small(2)
+	return top, collective.AllGather(top.NumGPUs(), 1<<20), core.Options{}
+}
+
+// BenchmarkEngineColdPlan measures a full pipeline run: a fresh engine
+// every iteration, so nothing is ever cached.
+func BenchmarkEngineColdPlan(b *testing.B) {
+	top, col, opts := benchCase()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Options{}).Plan(context.Background(), top, col, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWarmPlan measures a cache-served run: one shared engine,
+// pre-warmed before the timer starts.
+func BenchmarkEngineWarmPlan(b *testing.B) {
+	top, col, opts := benchCase()
+	eng := New(Options{})
+	if _, err := eng.Plan(context.Background(), top, col, opts); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Plan(context.Background(), top, col, opts); err != nil {
+		b.Fatal(err) // second pass reaches the warm fixed point
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Plan(context.Background(), top, col, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

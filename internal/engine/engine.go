@@ -1,0 +1,384 @@
+// Package engine provides the long-lived planner around the SyCCL
+// synthesis pipeline: a concurrency-safe Engine that owns persistent
+// caches surviving across requests and serves Plan(ctx, ...) with
+// cooperative cancellation and anytime semantics.
+//
+// Two caches back the engine:
+//
+//   - a sketch cache mapping topology fingerprint (plus collective shape,
+//     root, and search options) to the enumerated sketch set, so repeat
+//     plans on the same fabric skip the §4.1 search entirely;
+//   - a sub-schedule cache keyed by the canonical sub-demand signature
+//     plus the solve-option signature, sharded and LRU-bounded. An exact
+//     signature hit returns the stored solution verbatim — warm re-plans
+//     are bit-identical to the cold run — while demands that are
+//     isomorphic to a stored one (but relabeled) are served through
+//     isomorph.FindFullMapping/MapSchedule.
+//
+// The caches plug into core.Options through the core.SolveCache and
+// core.SketchCache interfaces, so core carries no engine dependency and
+// core.Synthesize keeps working cache-free.
+package engine
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"syccl/internal/collective"
+	"syccl/internal/core"
+	"syccl/internal/isomorph"
+	"syccl/internal/obs"
+	"syccl/internal/sketch"
+	"syccl/internal/solve"
+	"syccl/internal/topology"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// SketchCacheEntries bounds the sketch cache (whole search results;
+	// default 64).
+	SketchCacheEntries int
+	// SolveCacheEntries bounds the sub-schedule cache across all shards
+	// (default 4096).
+	SolveCacheEntries int
+	// Shards is the lock-striping factor of the sub-schedule cache,
+	// rounded up to a power of two (default 16). Isomorphic demands land
+	// in the same shard, so iso-fallback lookups stay shard-local.
+	Shards int
+	// Obs optionally receives the engine counters: engine.plans,
+	// engine.cancelled, engine.cache.{hits,misses,evictions},
+	// engine.sketch.{hits,misses}. Nil disables recording; Stats() is
+	// always available.
+	Obs *obs.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.SketchCacheEntries <= 0 {
+		o.SketchCacheEntries = 64
+	}
+	if o.SolveCacheEntries <= 0 {
+		o.SolveCacheEntries = 4096
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	return o
+}
+
+// Stats is a snapshot of the engine's lifetime counters.
+type Stats struct {
+	// Plans is the number of Plan calls accepted.
+	Plans int64
+	// Cancelled counts plans cut short by their context (both anytime
+	// Partial results and outright ctx errors).
+	Cancelled int64
+	// SolveHits / SolveMisses count cross-request sub-schedule cache
+	// lookups. ExactHits (verbatim replays) plus IsoHits (served through
+	// an isomorphism mapping) sum to SolveHits.
+	SolveHits, SolveMisses int64
+	ExactHits, IsoHits     int64
+	// Evictions counts LRU evictions from the sub-schedule cache.
+	Evictions int64
+	// SketchHits / SketchMisses count sketch cache lookups.
+	SketchHits, SketchMisses int64
+}
+
+// Engine is a long-lived, concurrency-safe planner. The zero value is not
+// usable; construct with New. An Engine may serve any number of
+// concurrent Plan calls over arbitrary topologies and collectives; its
+// caches are shared across all of them.
+type Engine struct {
+	opts     Options
+	sketches sketchLRU
+	shards   []solveShard
+	mask     uint32
+
+	plans        atomic.Int64
+	cancelled    atomic.Int64
+	solveHits    atomic.Int64
+	solveMisses  atomic.Int64
+	exactHits    atomic.Int64
+	isoHits      atomic.Int64
+	evictions    atomic.Int64
+	sketchHits   atomic.Int64
+	sketchMisses atomic.Int64
+}
+
+// New builds an Engine with the given options.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	shards := 1
+	for shards < opts.Shards {
+		shards <<= 1
+	}
+	perShard := (opts.SolveCacheEntries + shards - 1) / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	e := &Engine{
+		opts: opts,
+		mask: uint32(shards - 1),
+	}
+	e.sketches.init(opts.SketchCacheEntries)
+	e.shards = make([]solveShard, shards)
+	for i := range e.shards {
+		e.shards[i].init(perShard)
+	}
+	return e
+}
+
+// Plan synthesizes a schedule for the collective on the topology, serving
+// as much of the request as possible from the engine's caches and storing
+// what it had to compute. Cancellation is cooperative and anytime: when
+// ctx is cancelled or its deadline expires mid-synthesis, Plan returns
+// promptly with the best fully-validated candidate found so far
+// (Result.Partial=true) if at least one candidate completed the coarse
+// pass, and ctx.Err() otherwise. Results from cancelled plans are never
+// written into the caches.
+//
+// The engine installs its caches into opts; any caller-provided
+// SolveCache/SketchCache values are replaced. All other options pass
+// through to the pipeline unchanged.
+func (e *Engine) Plan(ctx context.Context, top *topology.Topology, col *collective.Collective, opts core.Options) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.plans.Add(1)
+	e.count("engine.plans", 1)
+	opts.SolveCache = solveCacheAdapter{e}
+	opts.SketchCache = sketchCacheAdapter{e}
+	res, err := core.SynthesizeContext(ctx, top, col, opts)
+	if (err != nil && ctx.Err() != nil) || (res != nil && res.Partial) {
+		e.cancelled.Add(1)
+		e.count("engine.cancelled", 1)
+	}
+	return res, err
+}
+
+// Stats returns a snapshot of the engine's lifetime counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Plans:        e.plans.Load(),
+		Cancelled:    e.cancelled.Load(),
+		SolveHits:    e.solveHits.Load(),
+		SolveMisses:  e.solveMisses.Load(),
+		ExactHits:    e.exactHits.Load(),
+		IsoHits:      e.isoHits.Load(),
+		Evictions:    e.evictions.Load(),
+		SketchHits:   e.sketchHits.Load(),
+		SketchMisses: e.sketchMisses.Load(),
+	}
+}
+
+func (e *Engine) count(name string, delta float64) {
+	if e.opts.Obs != nil {
+		e.opts.Obs.Count(name, delta)
+	}
+}
+
+// --- sub-schedule cache ---
+
+// solveEntry is one cached per-demand solution. The demand clone is kept
+// for the iso-fallback path, which needs the concrete piece sets to find
+// a mapping onto the queried demand.
+type solveEntry struct {
+	exactKey string
+	isoKey   string
+	demand   *solve.Demand
+	sub      *solve.SubSchedule
+	elem     *list.Element
+}
+
+type solveShard struct {
+	mu      sync.Mutex
+	byExact map[string]*solveEntry
+	byIso   map[string][]*solveEntry
+	lru     *list.List // front = most recently used
+	cap     int
+}
+
+func (s *solveShard) init(cap int) {
+	s.byExact = make(map[string]*solveEntry)
+	s.byIso = make(map[string][]*solveEntry)
+	s.lru = list.New()
+	s.cap = cap
+}
+
+func hashKey(k string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return h.Sum32()
+}
+
+// solveCacheAdapter implements core.SolveCache on the engine.
+type solveCacheAdapter struct{ e *Engine }
+
+func (a solveCacheAdapter) Lookup(d *solve.Demand, sig string) *solve.SubSchedule {
+	e := a.e
+	exact := isomorph.ExactKey(d) + "|" + sig
+	iso := isomorph.Key(d) + "|" + sig
+	s := &e.shards[hashKey(iso)&e.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent, ok := s.byExact[exact]; ok {
+		s.lru.MoveToFront(ent.elem)
+		e.solveHits.Add(1)
+		e.exactHits.Add(1)
+		e.count("engine.cache.hits", 1)
+		return cloneSub(ent.sub)
+	}
+	for _, ent := range s.byIso[iso] {
+		if m := isomorph.FindFullMapping(ent.demand, d); m != nil {
+			s.lru.MoveToFront(ent.elem)
+			e.solveHits.Add(1)
+			e.isoHits.Add(1)
+			e.count("engine.cache.hits", 1)
+			// MapSchedule allocates a fresh sub-schedule; no extra clone.
+			return isomorph.MapSchedule(ent.sub, *m)
+		}
+	}
+	e.solveMisses.Add(1)
+	e.count("engine.cache.misses", 1)
+	return nil
+}
+
+func (a solveCacheAdapter) Store(d *solve.Demand, sig string, sub *solve.SubSchedule) {
+	e := a.e
+	exact := isomorph.ExactKey(d) + "|" + sig
+	iso := isomorph.Key(d) + "|" + sig
+	s := &e.shards[hashKey(iso)&e.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent, ok := s.byExact[exact]; ok {
+		// First write wins: replaying a stored solution must stay
+		// bit-identical, so a concurrent duplicate store is dropped.
+		s.lru.MoveToFront(ent.elem)
+		return
+	}
+	ent := &solveEntry{
+		exactKey: exact,
+		isoKey:   iso,
+		demand:   cloneDemand(d),
+		sub:      cloneSub(sub),
+	}
+	ent.elem = s.lru.PushFront(ent)
+	s.byExact[exact] = ent
+	s.byIso[iso] = append(s.byIso[iso], ent)
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		victim := back.Value.(*solveEntry)
+		s.lru.Remove(back)
+		delete(s.byExact, victim.exactKey)
+		bucket := s.byIso[victim.isoKey]
+		for i, v := range bucket {
+			if v == victim {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(s.byIso, victim.isoKey)
+		} else {
+			s.byIso[victim.isoKey] = bucket
+		}
+		e.evictions.Add(1)
+		e.count("engine.cache.evictions", 1)
+	}
+}
+
+func cloneDemand(d *solve.Demand) *solve.Demand {
+	out := &solve.Demand{NumGPUs: d.NumGPUs, Alpha: d.Alpha, Beta: d.Beta}
+	out.Pieces = make([]solve.Piece, len(d.Pieces))
+	for i, p := range d.Pieces {
+		p.Srcs = append([]int(nil), p.Srcs...)
+		p.Dsts = append([]int(nil), p.Dsts...)
+		out.Pieces[i] = p
+	}
+	return out
+}
+
+func cloneSub(s *solve.SubSchedule) *solve.SubSchedule {
+	out := *s
+	out.Transfers = append([]solve.Transfer(nil), s.Transfers...)
+	return &out
+}
+
+// --- sketch cache ---
+
+type sketchEntry struct {
+	key      string
+	sketches []*sketch.Sketch
+	elem     *list.Element
+}
+
+type sketchLRU struct {
+	mu      sync.Mutex
+	entries map[string]*sketchEntry
+	lru     *list.List
+	cap     int
+}
+
+func (c *sketchLRU) init(cap int) {
+	c.entries = make(map[string]*sketchEntry)
+	c.lru = list.New()
+	c.cap = cap
+}
+
+// sketchCacheAdapter implements core.SketchCache on the engine.
+type sketchCacheAdapter struct{ e *Engine }
+
+func (a sketchCacheAdapter) Lookup(key string) ([]*sketch.Sketch, bool) {
+	e := a.e
+	c := &e.sketches
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if !ok {
+		e.sketchMisses.Add(1)
+		e.count("engine.sketch.misses", 1)
+		return nil, false
+	}
+	c.lru.MoveToFront(ent.elem)
+	e.sketchHits.Add(1)
+	e.count("engine.sketch.hits", 1)
+	return cloneSketches(ent.sketches), true
+}
+
+func (a sketchCacheAdapter) Store(key string, sketches []*sketch.Sketch) {
+	e := a.e
+	c := &e.sketches
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(ent.elem)
+		return
+	}
+	ent := &sketchEntry{key: key, sketches: cloneSketches(sketches)}
+	ent.elem = c.lru.PushFront(ent)
+	c.entries[key] = ent
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		victim := back.Value.(*sketchEntry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.key)
+		e.evictions.Add(1)
+		e.count("engine.cache.evictions", 1)
+	}
+}
+
+func cloneSketches(in []*sketch.Sketch) []*sketch.Sketch {
+	out := make([]*sketch.Sketch, len(in))
+	for i, sk := range in {
+		out[i] = sk.Clone()
+	}
+	return out
+}
+
+// Ensure the adapters satisfy core's interfaces.
+var (
+	_ core.SolveCache  = solveCacheAdapter{}
+	_ core.SketchCache = sketchCacheAdapter{}
+)

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"syccl/internal/collective"
-	"syccl/internal/core"
 	"syccl/internal/metrics"
 	"syccl/internal/sketch"
 	"syccl/internal/topology"
@@ -45,7 +44,7 @@ func Fig17a(cfg Config) ([]PruneRow, error) {
 				MaxSketches: 256,
 			}
 			start := time.Now()
-			res, err := core.Synthesize(top, col, opts)
+			res, err := cfg.synthesizeCold(top, col, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +98,7 @@ func Fig17b(cfg Config) ([]StageRow, error) {
 			opts := cfg.coreOptions()
 			opts.Search = sketch.SearchOptions{MaxStages: limit, MaxSketches: 128}
 			start := time.Now()
-			res, err := core.Synthesize(top, col, opts)
+			res, err := cfg.synthesizeCold(top, col, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -145,7 +144,7 @@ func Fig17c(cfg Config) ([]E2Row, error) {
 			col := collective.AllGather(n, size/float64(n))
 			opts := cfg.coreOptions()
 			opts.E2 = e2
-			res, err := core.Synthesize(top, col, opts)
+			res, err := cfg.synthesizeCold(top, col, opts)
 			if err != nil {
 				return nil, err
 			}

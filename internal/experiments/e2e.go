@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"syccl/internal/collective"
-	"syccl/internal/core"
 	"syccl/internal/nccl"
 	"syccl/internal/sim"
 	"syccl/internal/teccl"
@@ -71,7 +70,7 @@ func Table6(cfg Config) ([]Table6Row, error) {
 			return res.Time, nil
 		})
 		sycclTimer := memo(func(col *collective.Collective) (float64, error) {
-			res, err := core.Synthesize(top, col, cfg.coreOptions())
+			res, err := cfg.synthesize(top, col, cfg.coreOptions())
 			if err != nil {
 				return 0, err
 			}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -18,6 +19,7 @@ import (
 
 	"syccl/internal/collective"
 	"syccl/internal/core"
+	"syccl/internal/engine"
 	"syccl/internal/metrics"
 	"syccl/internal/nccl"
 	"syccl/internal/obs"
@@ -43,12 +45,45 @@ type Config struct {
 	// Obs optionally records every synthesis run in the experiment
 	// (spans, counters) for Chrome-trace export. Nil disables recording.
 	Obs *obs.Recorder
+	// Engine optionally routes every SyCCL synthesis through a shared
+	// long-lived planner, reusing sketch and sub-schedule caches across
+	// the experiment's cases. Nil synthesizes each case independently.
+	Engine *engine.Engine
+	// Timeout bounds each SyCCL synthesis; on expiry the best schedule
+	// found by then is used (anytime semantics). Zero disables the limit.
+	Timeout time.Duration
 }
 
 // coreOptions builds the core.Options shared by every SyCCL run in an
 // experiment; callers override the knob under study.
 func (c Config) coreOptions() core.Options {
 	return core.Options{Seed: c.Seed, Workers: c.Workers, Obs: c.Obs}
+}
+
+// synthesize runs one SyCCL case through the configured Engine (when one
+// is wired) under the configured Timeout. The performance sweeps funnel
+// through here so engine reuse and deadlines apply uniformly.
+func (c Config) synthesize(top *topology.Topology, col *collective.Collective, opts core.Options) (*core.Result, error) {
+	ctx := context.Background()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	if c.Engine != nil {
+		return c.Engine.Plan(ctx, top, col, opts)
+	}
+	return core.SynthesizeContext(ctx, top, col, opts)
+}
+
+// synthesizeCold is synthesize without the shared Engine. The
+// synthesis-time figures and cache ablations (Figs 15–17, Table 5)
+// measure the pipeline itself; serving their cases from a warm
+// cross-request cache would report cache latency instead of solver work,
+// so they always run cold.
+func (c Config) synthesizeCold(top *topology.Topology, col *collective.Collective, opts core.Options) (*core.Result, error) {
+	c.Engine = nil
+	return c.synthesize(top, col, opts)
 }
 
 // tecclOptions builds the teccl.Options shared by every TECCL run.
@@ -197,7 +232,7 @@ func perfSweep(id, title string, top *topology.Topology, kind collective.Kind,
 
 		// SyCCL.
 		start := time.Now()
-		res, err := core.Synthesize(top, col, cfg.coreOptions())
+		res, err := cfg.synthesize(top, col, cfg.coreOptions())
 		if err != nil {
 			return nil, fmt.Errorf("%s: syccl %s: %w", id, SizeLabel(size), err)
 		}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"syccl/internal/collective"
-	"syccl/internal/core"
 	"syccl/internal/crafted"
 	"syccl/internal/metrics"
 	"syccl/internal/nccl"
@@ -77,7 +76,7 @@ func craftedSweep(id, title string, top *topology.Topology, cfg Config, includeI
 		row.Crafted = metrics.BusBandwidth(col.Kind, n, size, ct)
 
 		start := time.Now()
-		res, err := core.Synthesize(top, col, cfg.coreOptions())
+		res, err := cfg.synthesize(top, col, cfg.coreOptions())
 		if err != nil {
 			return nil, err
 		}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"syccl/internal/collective"
-	"syccl/internal/core"
 	"syccl/internal/teccl"
 	"syccl/internal/topology"
 )
@@ -54,7 +53,7 @@ func synthSweep(id, title string, top *topology.Topology, kind collective.Kind, 
 		row := SynthRow{Bytes: size}
 
 		start := time.Now()
-		if _, err := core.Synthesize(top, col, cfg.coreOptions()); err != nil {
+		if _, err := cfg.synthesizeCold(top, col, cfg.coreOptions()); err != nil {
 			return nil, fmt.Errorf("%s: syccl %s: %w", id, SizeLabel(size), err)
 		}
 		row.SyCCL = time.Since(start)
@@ -104,7 +103,7 @@ func Fig16b(cfg Config) ([]BreakdownRow, error) {
 	for _, kind := range []collective.Kind{collective.KindAllGather, collective.KindAlltoAll} {
 		for _, size := range cfg.Sizes {
 			col := buildCollective(kind, top.NumGPUs(), size)
-			res, err := core.Synthesize(top, col, cfg.coreOptions())
+			res, err := cfg.synthesizeCold(top, col, cfg.coreOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -160,7 +159,7 @@ func Fig16c(cfg Config) ([]WorkerRow, error) {
 			start := time.Now()
 			opts := cfg.coreOptions()
 			opts.Workers = w
-			if _, err := core.Synthesize(top, col, opts); err != nil {
+			if _, err := cfg.synthesizeCold(top, col, opts); err != nil {
 				return nil, err
 			}
 			out = append(out, WorkerRow{Workers: w, Bytes: size, SyCCL: time.Since(start)})
@@ -214,7 +213,7 @@ func Table5(cfg Config) ([]Table5Row, error) {
 		for _, size := range sizes {
 			col := buildCollective(sc.kind, sc.top.NumGPUs(), size)
 			start := time.Now()
-			if _, err := core.Synthesize(sc.top, col, cfg.coreOptions()); err != nil {
+			if _, err := cfg.synthesizeCold(sc.top, col, cfg.coreOptions()); err != nil {
 				return nil, fmt.Errorf("table5 %s: %w", sc.name, err)
 			}
 			d := time.Since(start)

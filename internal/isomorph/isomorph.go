@@ -41,6 +41,22 @@ func Key(d *solve.Demand) string {
 	return sb.String()
 }
 
+// ExactKey returns a byte-exact signature of a demand: two demands share
+// an ExactKey iff they are literally identical (same GPU count, link
+// parameters, and pieces with the same sizes, ordering, and concrete
+// source/destination lists). Unlike Key it is NOT invariant under GPU
+// renaming; it exists so cross-request caches (internal/engine) can serve
+// a repeated demand with the bit-identical stored sub-schedule, keeping
+// warm and cold runs byte-equal.
+func ExactKey(d *solve.Demand) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n%d;a%.9g;b%.9g", d.NumGPUs, d.Alpha, d.Beta)
+	for _, p := range d.Pieces {
+		fmt.Fprintf(&sb, ";p%.9g|%v|%v", p.Bytes, p.Srcs, p.Dsts)
+	}
+	return sb.String()
+}
+
 // gpuColors computes a per-GPU invariant color string.
 func gpuColors(d *solve.Demand) []string {
 	colors := make([][]string, d.NumGPUs)
@@ -333,6 +349,33 @@ func Identity(d *solve.Demand) Mapping {
 	return m
 }
 
+// Equal reports whether two demands are structurally identical: same
+// group size, same α/β, and the same pieces in the same order. Piece
+// order is part of the comparison on purpose — demand builders emit
+// pieces deterministically, and order-sensitive equality stays cheap.
+func Equal(a, b *solve.Demand) bool {
+	if a.NumGPUs != b.NumGPUs || a.Alpha != b.Alpha || a.Beta != b.Beta || len(a.Pieces) != len(b.Pieces) {
+		return false
+	}
+	for i := range a.Pieces {
+		pa, pb := &a.Pieces[i], &b.Pieces[i]
+		if pa.Bytes != pb.Bytes || len(pa.Srcs) != len(pb.Srcs) || len(pa.Dsts) != len(pb.Dsts) {
+			return false
+		}
+		for j := range pa.Srcs {
+			if pa.Srcs[j] != pb.Srcs[j] {
+				return false
+			}
+		}
+		for j := range pa.Dsts {
+			if pa.Dsts[j] != pb.Dsts[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // FindFullMapping returns the complete isomorphism from a to b, or nil.
 func FindFullMapping(a, b *solve.Demand) *Mapping {
 	f := FindMapping(a, b)
@@ -357,7 +400,22 @@ func Classes(demands []*solve.Demand) (repOf []int, mapFromRep []Mapping) {
 	for i, d := range demands {
 		k := Key(d)
 		assigned := false
+		// Structurally equal demands take the identity mapping, never a
+		// discovered automorphism: every equal demand must reuse the
+		// representative's sub-schedule verbatim, so a cross-request cache
+		// keyed on exact demand content replays a run bit-identically.
 		for _, r := range byKey[k] {
+			if Equal(demands[r], d) {
+				repOf[i] = r
+				mapFromRep[i] = Identity(d)
+				assigned = true
+				break
+			}
+		}
+		for _, r := range byKey[k] {
+			if assigned {
+				break
+			}
 			if m := FindFullMapping(demands[r], d); m != nil {
 				repOf[i] = r
 				mapFromRep[i] = *m

@@ -234,3 +234,47 @@ func TestPieceBijectionNotIdentity(t *testing.T) {
 		t.Fatalf("mapped schedule invalid: %v", err)
 	}
 }
+
+func TestEqual(t *testing.T) {
+	a, b := broadcast(4, 0), broadcast(4, 0)
+	if !Equal(a, b) {
+		t.Fatal("identical broadcasts not Equal")
+	}
+	if Equal(a, broadcast(4, 2)) {
+		t.Fatal("different roots reported Equal")
+	}
+	c := broadcast(4, 0)
+	c.Beta = 2
+	if Equal(a, c) {
+		t.Fatal("different beta reported Equal")
+	}
+	d := broadcast(4, 0)
+	d.Pieces[0].Bytes = 7
+	if Equal(a, d) {
+		t.Fatal("different piece size reported Equal")
+	}
+}
+
+// TestClassesEqualDemandsGetIdentity: structurally equal demands must map
+// to their representative through the identity, never through a
+// discovered automorphism — the invariant that makes replaying a run from
+// an exact-keyed cache bit-identical.
+func TestClassesEqualDemandsGetIdentity(t *testing.T) {
+	demands := []*solve.Demand{broadcast(4, 1), broadcast(4, 1), broadcast(4, 1)}
+	repOf, maps := Classes(demands)
+	for i := range demands {
+		if repOf[i] != 0 {
+			t.Fatalf("demand %d: rep %d, want 0", i, repOf[i])
+		}
+		for g, m := range maps[i].GPUs {
+			if m != g {
+				t.Fatalf("demand %d: non-identity GPU mapping %v", i, maps[i].GPUs)
+			}
+		}
+		for p, m := range maps[i].Pieces {
+			if m != p {
+				t.Fatalf("demand %d: non-identity piece mapping %v", i, maps[i].Pieces)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lp
+
+import (
+	"context"
+	"testing"
+)
+
+// textbookProblem is the TestTextbookMax LP: max 3x+5y (via negation)
+// with optimum (2,6).
+func textbookProblem() *Problem {
+	p := NewProblem(2)
+	p.SetObjective(0, -3)
+	p.SetObjective(1, -5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	return p
+}
+
+func TestSolveCtxCancelledReturnsIterLimit(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := textbookProblem().SolveCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusIterLimit {
+		t.Fatalf("status %v, want StatusIterLimit", s.Status)
+	}
+}
+
+func TestSolveCtxUncancelledMatchesSolve(t *testing.T) {
+	want, err := textbookProblem().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := textbookProblem().SolveCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || !approx(got.Objective, want.Objective, 1e-9) {
+		t.Fatalf("SolveCtx(Background) = %v obj %g, Solve = %v obj %g",
+			got.Status, got.Objective, want.Status, want.Objective)
+	}
+}
+
+// TestSetCancelMidSolve installs a poll that trips after a few pivots:
+// the pivot loop must abandon the solve with StatusIterLimit instead of
+// running to optimality.
+func TestSetCancelMidSolve(t *testing.T) {
+	tab, err := NewTableau(textbookProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	tab.SetCancel(func() bool { calls++; return true })
+	s, err := tab.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusIterLimit {
+		t.Fatalf("status %v, want StatusIterLimit", s.Status)
+	}
+	if calls == 0 {
+		t.Fatal("cancel poll never invoked")
+	}
+}

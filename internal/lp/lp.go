@@ -22,6 +22,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -190,6 +191,20 @@ func (p *Problem) Solve() (*Solution, error) {
 	return t.Solve()
 }
 
+// SolveCtx is Solve with cooperative cancellation: the pivot loop polls
+// the context and a cancelled solve returns with StatusIterLimit (never
+// a partial basis presented as optimal).
+func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
+	t, err := NewTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		t.SetCancel(func() bool { return ctx.Err() != nil })
+	}
+	return t.Solve()
+}
+
 // Tableau is the standard-form expansion of a Problem with variables
 // shifted to x' = x - lo and slack/surplus/artificial columns appended.
 // The coefficient matrix is one flat backing array (row-major) for cache
@@ -242,6 +257,29 @@ type Tableau struct {
 	objRow, phase1 []float64  // pooled scratch: objective row, phase-1 cost
 	xbuf           []float64  // pooled scratch: extraction buffer
 	dcands         []dualCand // pooled scratch: dual ratio-test candidates
+
+	// cancel, when set, is polled every cancelCheckMask+1 pivots by every
+	// pivot loop; a true return abandons the solve with StatusIterLimit.
+	// Callers (branch-and-bound under a context) treat that exactly like an
+	// iteration-limit node: drop it and report the proved bound.
+	cancel func() bool
+}
+
+// cancelCheckMask throttles cancellation polls: pivots are O(m·width)
+// dense row operations, so checking every 64th keeps the overhead
+// unmeasurable while bounding the post-cancel grace to 64 pivots.
+const cancelCheckMask = 63
+
+// SetCancel installs (or clears, with nil) a cancellation poll. It is
+// polled from the pivot loops of both the one-shot and the resolvable
+// engines; when it returns true the running solve stops and reports
+// StatusIterLimit.
+func (t *Tableau) SetCancel(cancel func() bool) { t.cancel = cancel }
+
+// cancelled reports whether the installed poll requests an abort, checking
+// only every cancelCheckMask+1 iterations.
+func (t *Tableau) cancelled() bool {
+	return t.cancel != nil && t.iters&cancelCheckMask == 0 && t.cancel()
 }
 
 // dualCand is one entering candidate of the dual ratio test.
@@ -512,6 +550,9 @@ func (t *Tableau) iterate(objRow []float64, colLimit, width int) Status {
 	noProgress := 0
 	lastObj := objRow[t.totalCols]
 	for ; t.iters < t.maxIters; t.iters++ {
+		if t.cancelled() {
+			return StatusIterLimit
+		}
 		// Entering column: Dantzig (most negative reduced cost);
 		// Bland's rule after stalling to escape degenerate cycling.
 		col := -1
@@ -715,6 +756,9 @@ func (t *Tableau) bElim(row, col, width int, objRow []float64) {
 func (t *Tableau) bIterate(objRow []float64, colLimit, width int) Status {
 	noProgress := 0
 	for ; t.iters < t.maxIters; t.iters++ {
+		if t.cancelled() {
+			return StatusIterLimit
+		}
 		col := -1
 		var dir float64
 		if noProgress < 40 {
@@ -837,6 +881,9 @@ func (t *Tableau) bDualIterate(objRow []float64) Status {
 	width := t.pivotWidth()
 	noProgress := 0
 	for ; t.iters < t.maxIters; t.iters++ {
+		if t.cancelled() {
+			return StatusIterLimit
+		}
 		// Leaving row: largest bound violation; smallest row index after
 		// stalling (Bland-style) to break degenerate cycling.
 		r := -1

@@ -1,0 +1,71 @@
+package milp
+
+import (
+	"context"
+	"testing"
+
+	"syccl/internal/lp"
+)
+
+// cancelKnapsack is the TestKnapsack instance (optimum 21 at x0+x2+x3).
+func cancelKnapsack() *Problem {
+	values := []float64{10, 13, 7, 4}
+	weights := []float64{3, 4, 2, 1}
+	p := NewProblem(4)
+	terms := []lp.Term{}
+	for i := 0; i < 4; i++ {
+		p.SetBinary(i)
+		p.LP.SetObjective(i, -values[i])
+		terms = append(terms, lp.Term{Var: i, Coeff: weights[i]})
+	}
+	p.LP.AddConstraint(terms, lp.LE, 6)
+	return p
+}
+
+// TestSolveCtxCancelledNoIncumbent: cancellation before any node resolves
+// behaves like an expired deadline — StatusUnknown, not an error.
+func TestSolveCtxCancelledNoIncumbent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := SolveCtx(ctx, cancelKnapsack(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusUnknown {
+		t.Fatalf("status %v, want StatusUnknown", s.Status)
+	}
+}
+
+// TestSolveCtxCancelledKeepsIncumbent: with a feasible incumbent seeded,
+// a cancelled search must return it as StatusFeasible (anytime result)
+// rather than discarding it.
+func TestSolveCtxCancelledKeepsIncumbent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inc := []float64{0, 1, 1, 0} // value 20, weight 6: feasible, not optimal
+	s, err := SolveCtx(ctx, cancelKnapsack(), Options{Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusFeasible {
+		t.Fatalf("status %v, want StatusFeasible", s.Status)
+	}
+	if !approx(-s.Objective, 20, 1e-6) {
+		t.Fatalf("objective %g, want the incumbent's 20", -s.Objective)
+	}
+}
+
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	want, err := Solve(cancelKnapsack(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveCtx(context.Background(), cancelKnapsack(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || !approx(got.Objective, want.Objective, 1e-9) {
+		t.Fatalf("SolveCtx = %v obj %g, Solve = %v obj %g",
+			got.Status, got.Objective, want.Status, want.Objective)
+	}
+}

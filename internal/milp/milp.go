@@ -23,6 +23,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -56,6 +57,14 @@ func (p *Problem) SetBinary(i int) {
 type Options struct {
 	TimeLimit time.Duration // 0: unlimited
 	MaxNodes  int           // 0: default 100000
+	// MaxLPIters caps the simplex pivots summed over all node
+	// relaxations (0: unlimited). Unlike TimeLimit it is a
+	// deterministic effort bound — with one worker the same search
+	// truncates at the same node on any machine — while still tracking
+	// actual work when nodes have very different relaxation costs.
+	// Checked between nodes, so the cap can overshoot by one node's
+	// pivots.
+	MaxLPIters int
 	// Workers is the number of parallel branch-and-bound workers
 	// (default 1). Results are reproducible across worker counts up to
 	// the deterministic incumbent tie-break; node counts are not.
@@ -164,8 +173,10 @@ type solver struct {
 	baseLo, baseHi []float64
 	gap            float64
 	maxNodes       int
+	maxIters       int
 	deadline       time.Time
 	nowFn          func() time.Time
+	ctx            context.Context
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -187,6 +198,15 @@ type solver struct {
 
 // Solve runs best-first branch-and-bound.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve under a context: cancellation is polled once per
+// branch-and-bound node and every few simplex pivots inside each node's
+// relaxation, and it behaves exactly like the deadline — the search stops,
+// open subtrees are recorded as unresolved, and the best incumbent found
+// so far is returned (StatusFeasible), or StatusUnknown when none exists.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	n := p.LP.NumVars()
 	if len(p.Integer) != n {
 		return nil, errors.New("milp: Integer mask length mismatch")
@@ -203,17 +223,26 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	if maxNodes <= 0 {
 		maxNodes = 100000
 	}
+	maxIters := opts.MaxLPIters
+	if maxIters <= 0 {
+		maxIters = math.MaxInt
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = 1
 	}
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &solver{
 		p: p, n: n,
 		gap:       opts.AbsGap,
 		maxNodes:  maxNodes,
+		maxIters:  maxIters,
 		deadline:  deadline,
 		nowFn:     nowFn,
+		ctx:       ctx,
 		best:      math.Inf(1),
 		droppedLB: math.Inf(1),
 		prunedLB:  math.Inf(1),
@@ -289,6 +318,12 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 // until the heap drains or a limit fires.
 func (s *solver) worker() {
 	tab, _ := lp.NewResolvableTableau(s.p.LP) // nil tab → cold fallback per node
+	if tab != nil && s.ctx.Done() != nil {
+		// Cancellation reaches into the pivot loop: a cancelled node solve
+		// returns StatusIterLimit and is recorded as unresolved, exactly
+		// like a node abandoned at the deadline.
+		tab.SetCancel(func() bool { return s.ctx.Err() != nil })
+	}
 	lo := make([]float64, s.n)
 	hi := make([]float64, s.n)
 
@@ -310,7 +345,7 @@ func (s *solver) worker() {
 		if len(s.h) == 0 {
 			return // no open nodes, no active workers: exhausted
 		}
-		if s.nodes >= s.maxNodes || (!s.deadline.IsZero() && s.nowFn().After(s.deadline)) {
+		if s.nodes >= s.maxNodes || s.iters >= s.maxIters || s.ctx.Err() != nil || (!s.deadline.IsZero() && s.nowFn().After(s.deadline)) {
 			s.stop = true
 			s.cond.Broadcast()
 			continue
@@ -379,7 +414,7 @@ func (s *solver) coldSolve(nd *node, lo, hi []float64) *lp.Solution {
 	for i := 0; i < s.n; i++ {
 		rel.SetBounds(i, lo[i], hi[i])
 	}
-	ls, err := rel.Solve()
+	ls, err := rel.SolveCtx(s.ctx)
 	if err != nil {
 		return nil // empty bounds from branching: infeasible child
 	}

@@ -265,3 +265,51 @@ func TestStatusString(t *testing.T) {
 		t.Error("status strings wrong")
 	}
 }
+
+func TestMaxLPItersTruncatesDeterministically(t *testing.T) {
+	// The same knapsack as TestTimeLimitReturnsIncumbent, capped by
+	// pivots instead of wall clock: the truncated search must report a
+	// pivot count near the cap, keep a seeded incumbent as feasible,
+	// and — being a deterministic effort bound — land on the identical
+	// incumbent every run.
+	build := func() *Problem {
+		n := 20
+		p := NewProblem(n)
+		terms := []lp.Term{}
+		for i := 0; i < n; i++ {
+			p.SetBinary(i)
+			p.LP.SetObjective(i, -float64(i+1))
+			terms = append(terms, lp.Term{Var: i, Coeff: float64((i*7)%13 + 1)})
+		}
+		p.LP.AddConstraint(terms, lp.LE, 30)
+		return p
+	}
+	full, err := Solve(build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.LPIters < 10 {
+		t.Skipf("instance solved in %d pivots, too cheap to truncate", full.LPIters)
+	}
+	cap := full.LPIters / 2
+	zero := make([]float64, 20)
+	var first *Solution
+	for run := 0; run < 3; run++ {
+		s, err := Solve(build(), Options{MaxLPIters: cap, Incumbent: zero})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != StatusFeasible && s.Status != StatusOptimal {
+			t.Fatalf("run %d: status %v, want feasible/optimal", run, s.Status)
+		}
+		if s.Status == StatusFeasible && s.LPIters >= full.LPIters {
+			t.Fatalf("run %d: cap %d did not truncate (%d pivots, full %d)", run, cap, s.LPIters, full.LPIters)
+		}
+		if first == nil {
+			first = s
+		} else if s.Objective != first.Objective || s.LPIters != first.LPIters || s.Nodes != first.Nodes {
+			t.Fatalf("run %d: truncation not deterministic: obj %g/%g nodes %d/%d pivots %d/%d",
+				run, s.Objective, first.Objective, s.Nodes, first.Nodes, s.LPIters, first.LPIters)
+		}
+	}
+}

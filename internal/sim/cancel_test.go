@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"syccl/internal/schedule"
+)
+
+func TestSimulateCtxPreCancelled(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateCtx(ctx, top, s, Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSimulateCtxBackgroundMatchesSimulate(t *testing.T) {
+	top := testTopo()
+	s := &schedule.Schedule{NumGPUs: 8}
+	p := s.AddPiece(1000, 0)
+	s.AddTransfer(schedule.Transfer{Src: 0, Dst: 1, Piece: p, Dim: 0})
+	want, err := Simulate(top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateCtx(context.Background(), top, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != want.Time {
+		t.Fatalf("SimulateCtx time %g, Simulate time %g", got.Time, want.Time)
+	}
+}
+
+func TestOptionsIsZero(t *testing.T) {
+	if !(Options{}).IsZero() {
+		t.Fatal("zero Options not IsZero")
+	}
+	if (Options{BlockBytes: 1}).IsZero() {
+		t.Fatal("BlockBytes ignored by IsZero")
+	}
+	if (Options{MaxBlocks: 1}).IsZero() {
+		t.Fatal("MaxBlocks ignored by IsZero")
+	}
+	if DefaultOptions().IsZero() {
+		t.Fatal("DefaultOptions reported as zero")
+	}
+}

@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -47,6 +48,14 @@ type Options struct {
 // at most 8 in flight per transfer.
 func DefaultOptions() Options {
 	return Options{BlockBytes: 512 * 1024, MaxBlocks: 8}
+}
+
+// IsZero reports whether the options are entirely unset. Callers that
+// substitute defaults for unset options (core.Options.withDefaults) use
+// this instead of struct equality, which silently breaks the moment a
+// non-comparable field is added.
+func (o Options) IsZero() bool {
+	return o.BlockBytes == 0 && o.MaxBlocks == 0 && o.Rec == nil
 }
 
 // Result reports the outcome of a simulation.
@@ -107,9 +116,19 @@ type blockEvent struct {
 // It returns an error if a transfer uses a dimension whose group does not
 // contain both endpoints, or if dependencies are cyclic.
 func Simulate(top *topology.Topology, s *schedule.Schedule, opts Options) (*Result, error) {
+	return SimulateCtx(context.Background(), top, s, opts)
+}
+
+// SimulateCtx is Simulate under a context. Cancellation is polled every
+// 256 transfers; a cancelled simulation returns ctx.Err() — there is no
+// partial result to salvage from a half-simulated schedule.
+func SimulateCtx(ctx context.Context, top *topology.Topology, s *schedule.Schedule, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sp := opts.Rec.StartSpan("sim.simulate")
 	sp.SetInt("transfers", int64(len(s.Transfers)))
-	res, err := simulate(top, s, opts)
+	res, err := simulate(ctx, top, s, opts)
 	if err == nil {
 		sp.SetInt("events", int64(res.Events))
 		sp.SetFloat("makespan", res.Time)
@@ -119,7 +138,7 @@ func Simulate(top *topology.Topology, s *schedule.Schedule, opts Options) (*Resu
 	return res, err
 }
 
-func simulate(top *topology.Topology, s *schedule.Schedule, opts Options) (*Result, error) {
+func simulate(ctx context.Context, top *topology.Topology, s *schedule.Schedule, opts Options) (*Result, error) {
 	n := top.NumGPUs()
 	if s.NumGPUs != n {
 		return nil, fmt.Errorf("sim: schedule has %d GPUs, topology %d", s.NumGPUs, n)
@@ -188,7 +207,10 @@ func simulate(top *topology.Topology, s *schedule.Schedule, opts Options) (*Resu
 		res.LinkBusy[g] = make([]float64, numClasses)
 	}
 
-	for _, i := range seq {
+	for k, i := range seq {
+		if k&255 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		t := s.Transfers[i]
 		dim := top.Dim(t.Dim)
 		class := dim.PortClass

@@ -1,0 +1,34 @@
+package sketch
+
+import (
+	"context"
+	"testing"
+
+	"syccl/internal/topology"
+)
+
+// TestSearchPreCancelled: a context cancelled before the search starts
+// must yield no sketches — the searcher checks the context before
+// expanding any node.
+func TestSearchPreCancelled(t *testing.T) {
+	top := topology.Fig3()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := SearchBroadcast(ctx, top, 0, SearchOptions{}); len(got) != 0 {
+		t.Fatalf("cancelled broadcast search emitted %d sketches", len(got))
+	}
+	if got := SearchScatter(ctx, top, 0, SearchOptions{}); len(got) != 0 {
+		t.Fatalf("cancelled scatter search emitted %d sketches", len(got))
+	}
+}
+
+// TestSearchNilContextMatchesBackground: a nil context is tolerated and
+// equivalent to context.Background().
+func TestSearchNilContextMatchesBackground(t *testing.T) {
+	top := topology.Fig3()
+	want := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
+	got := SearchBroadcast(nil, top, 0, SearchOptions{}) //nolint:staticcheck — nil tolerance is the point
+	if len(got) != len(want) {
+		t.Fatalf("nil-ctx search found %d sketches, Background found %d", len(got), len(want))
+	}
+}

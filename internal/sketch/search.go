@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"context"
 	"sort"
 
 	"syccl/internal/obs"
@@ -58,15 +59,18 @@ func (o SearchOptions) withDefaults(top *topology.Topology, scatter bool) Search
 	return o
 }
 
-// SearchBroadcast enumerates Broadcast sketches rooted at root.
-func SearchBroadcast(top *topology.Topology, root int, opts SearchOptions) []*Sketch {
-	return runSearch(top, root, false, opts)
+// SearchBroadcast enumerates Broadcast sketches rooted at root. A
+// cancelled ctx stops the enumeration early and returns the sketches
+// found so far (possibly none).
+func SearchBroadcast(ctx context.Context, top *topology.Topology, root int, opts SearchOptions) []*Sketch {
+	return runSearch(ctx, top, root, false, opts)
 }
 
 // SearchScatter enumerates Scatter sketches rooted at root (used for
-// AlltoAll decomposition; pruning #3 bounds the relay count).
-func SearchScatter(top *topology.Topology, root int, opts SearchOptions) []*Sketch {
-	return runSearch(top, root, true, opts)
+// AlltoAll decomposition; pruning #3 bounds the relay count). Cancellation
+// behaves as in SearchBroadcast.
+func SearchScatter(ctx context.Context, top *topology.Topology, root int, opts SearchOptions) []*Sketch {
+	return runSearch(ctx, top, root, true, opts)
 }
 
 // dimState is one eligible dimension at a stage: the groups holding both
@@ -83,15 +87,20 @@ type dimState struct {
 }
 
 type searcher struct {
-	top     *topology.Topology
-	opts    SearchOptions
-	scatter bool
-	seen    map[string]bool
-	out     []*Sketch
-	nodes   int
+	top       *topology.Topology
+	opts      SearchOptions
+	scatter   bool
+	seen      map[string]bool
+	out       []*Sketch
+	nodes     int
+	ctx       context.Context
+	cancelled bool
 }
 
-func runSearch(top *topology.Topology, root int, scatter bool, opts SearchOptions) []*Sketch {
+func runSearch(ctx context.Context, top *topology.Topology, root int, scatter bool, opts SearchOptions) []*Sketch {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sp := opts.Rec.StartSpan("sketch.search")
 	sp.SetInt("root", int64(root))
 	if scatter {
@@ -105,6 +114,7 @@ func runSearch(top *topology.Topology, root int, scatter bool, opts SearchOption
 		opts:    opts.withDefaults(top, scatter),
 		scatter: scatter,
 		seen:    make(map[string]bool),
+		ctx:     ctx,
 	}
 	informed := make([]bool, top.NumGPUs())
 	informed[root] = true
@@ -135,7 +145,12 @@ func runSearch(top *topology.Topology, root int, scatter bool, opts SearchOption
 }
 
 func (s *searcher) done() bool {
-	return len(s.out) >= s.opts.MaxSketches || s.nodes >= s.opts.MaxNodes
+	// Cancellation is polled every 64 nodes (ctx.Err takes an atomic load
+	// plus a mutex on the done path; the mask keeps it off the hot path).
+	if !s.cancelled && s.ctx.Done() != nil && s.nodes&63 == 0 && s.ctx.Err() != nil {
+		s.cancelled = true
+	}
+	return s.cancelled || len(s.out) >= s.opts.MaxSketches || s.nodes >= s.opts.MaxNodes
 }
 
 // recurse runs the three-step stage enumeration of §4.1: choose the

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestSearchBroadcastFig5(t *testing.T) {
 	top := topology.Fig3()
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	if len(sketches) == 0 {
 		t.Fatal("no sketches found")
 	}
@@ -50,7 +51,7 @@ func TestSearchEmitsHierarchicalH800(t *testing.T) {
 	// NVLink fan-out then rail fan-out (or rail then NVLink): 2 stages,
 	// single dim each.
 	top := topology.H800Rail(4) // 32 GPUs
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	shapes := map[string]bool{}
 	for _, sk := range sketches {
 		if err := sk.Validate(top); err != nil {
@@ -77,7 +78,7 @@ func TestSearchFindsAlternativeHierarchical(t *testing.T) {
 	// then both spread along their rails, then NVLink fan-out (3 stages:
 	// dim0 c=1, dim1 full, dim0 full).
 	top := topology.H800Rail(4)
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	found := false
 	for _, sk := range sketches {
 		if len(sk.Stages) != 3 {
@@ -96,8 +97,8 @@ func TestSearchFindsAlternativeHierarchical(t *testing.T) {
 
 func TestPrune1ReducesSketches(t *testing.T) {
 	top := topology.H800Small(4)
-	with := SearchBroadcast(top, 0, SearchOptions{MaxSketches: 1 << 20, MaxNodes: 20000})
-	without := SearchBroadcast(top, 0, SearchOptions{MaxSketches: 1 << 20, MaxNodes: 20000, DisablePrune1: true})
+	with := SearchBroadcast(context.Background(), top, 0, SearchOptions{MaxSketches: 1 << 20, MaxNodes: 20000})
+	without := SearchBroadcast(context.Background(), top, 0, SearchOptions{MaxSketches: 1 << 20, MaxNodes: 20000, DisablePrune1: true})
 	if len(without) < len(with) {
 		t.Errorf("disabling prune1 reduced sketches: %d < %d", len(without), len(with))
 	}
@@ -105,8 +106,8 @@ func TestPrune1ReducesSketches(t *testing.T) {
 
 func TestPrune2ReducesSketches(t *testing.T) {
 	top := topology.H800Small(4)
-	with := SearchBroadcast(top, 0, SearchOptions{MaxSketches: 1 << 20, MaxNodes: 200000})
-	without := SearchBroadcast(top, 0, SearchOptions{MaxSketches: 1 << 20, MaxNodes: 200000, DisablePrune2: true})
+	with := SearchBroadcast(context.Background(), top, 0, SearchOptions{MaxSketches: 1 << 20, MaxNodes: 200000})
+	without := SearchBroadcast(context.Background(), top, 0, SearchOptions{MaxSketches: 1 << 20, MaxNodes: 200000, DisablePrune2: true})
 	if len(without) <= len(with) {
 		t.Errorf("disabling prune2 did not expand the space: %d <= %d", len(without), len(with))
 	}
@@ -119,7 +120,7 @@ func TestPrune2ReducesSketches(t *testing.T) {
 
 func TestScatterSearchRespectsPrune3(t *testing.T) {
 	top := topology.H800Rail(4)
-	sketches := SearchScatter(top, 0, SearchOptions{})
+	sketches := SearchScatter(context.Background(), top, 0, SearchOptions{})
 	if len(sketches) == 0 {
 		t.Fatal("no scatter sketches")
 	}
@@ -142,7 +143,7 @@ func TestScatterSearchRespectsPrune3(t *testing.T) {
 
 func TestWorkloadBroadcast(t *testing.T) {
 	top := topology.H800Rail(2) // 16 GPUs, 2 servers, 8 rails of 2
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	var hier *Sketch
 	for _, sk := range sketches {
 		if len(sk.Stages) == 2 && len(sk.Stages[0]) == 1 && sk.Stages[0][0].Dim == 0 &&
@@ -199,7 +200,7 @@ func TestWorkloadScatterCountsSubtrees(t *testing.T) {
 
 func TestReplicateBalances(t *testing.T) {
 	top := topology.H800Rail(4)
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	var hier *Sketch
 	for _, sk := range sketches {
 		if len(sk.Stages) == 2 && len(sk.Stages[0]) == 1 && sk.Stages[0][0].Dim == 0 {
@@ -238,7 +239,7 @@ func TestReplicateBalances(t *testing.T) {
 
 func TestExpandAllToAll(t *testing.T) {
 	top := topology.H800Small(2) // 8 GPUs
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	combo := ExpandAllToAll(top, sketches[0])
 	if len(combo.Sketches) != 8 {
 		t.Fatalf("expanded to %d sketches, want 8", len(combo.Sketches))
@@ -269,7 +270,7 @@ func TestExpandAllToAll(t *testing.T) {
 
 func TestIntegrateMatchesBandwidthShares(t *testing.T) {
 	top := topology.H800Rail(4)
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	// Pick two hierarchical flavors with opposite dim orderings.
 	var ab, ba *Sketch
 	for _, sk := range sketches {
@@ -302,7 +303,7 @@ func TestIntegrateMatchesBandwidthShares(t *testing.T) {
 
 func TestIntegrateRejectsDegenerate(t *testing.T) {
 	top := topology.H800Rail(4)
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	// Same combo twice: cannot shift share between dimensions; the
 	// deviation check decides. Whatever the outcome, it must not panic
 	// and the nil/valid contract must hold.
@@ -321,7 +322,7 @@ func TestIntegrateRejectsDegenerate(t *testing.T) {
 
 func TestSketchMapPreservesStructure(t *testing.T) {
 	top := topology.H800Rail(2)
-	sk := SearchBroadcast(top, 0, SearchOptions{})[0]
+	sk := SearchBroadcast(context.Background(), top, 0, SearchOptions{})[0]
 	perm := top.Sym.Permutation(top.Sym.MapRoot(0, 9))
 	m := sk.Map(top, perm)
 	if m.Root != 9 {
@@ -366,7 +367,7 @@ func TestValidateRejectsBadSketches(t *testing.T) {
 
 func TestDescriptorDistinguishesShapes(t *testing.T) {
 	top := topology.H800Rail(4)
-	sketches := SearchBroadcast(top, 0, SearchOptions{})
+	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
 	seen := map[string]bool{}
 	for _, sk := range sketches {
 		d := sk.Descriptor()
@@ -428,7 +429,7 @@ func TestAutomorphismsHierarchical(t *testing.T) {
 
 func TestDescribe(t *testing.T) {
 	top := topology.H800Rail(2)
-	sk := SearchBroadcast(top, 0, SearchOptions{})[0]
+	sk := SearchBroadcast(context.Background(), top, 0, SearchOptions{})[0]
 	out := sk.Describe(top)
 	for _, want := range []string{"Broadcast sketch rooted at GPU 0", "stage 0", "workload:"} {
 		if !contains(out, want) {

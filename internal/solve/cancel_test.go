@@ -1,0 +1,56 @@
+package solve
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestSolveCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sub, err := SolveCtx(ctx, broadcastDemand(4), Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sub != nil {
+		t.Fatalf("cancelled solve returned a schedule: %+v", sub)
+	}
+}
+
+// errCountCtx flips Err to Canceled after a fixed number of polls, landing
+// the cancellation inside the exact solver's horizon loop.
+type errCountCtx struct {
+	context.Context
+	mu        sync.Mutex
+	remaining int
+}
+
+func (c *errCountCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func (c *errCountCtx) Done() <-chan struct{} { return make(chan struct{}) }
+
+// TestExactCancelledMidSearchReturnsIncumbent: the exact engine cancelled
+// between horizons degrades to its greedy incumbent — a complete, valid
+// sub-schedule — instead of failing.
+func TestExactCancelledMidSearchReturnsIncumbent(t *testing.T) {
+	for _, budget := range []int{1, 2, 4, 8} {
+		ctx := &errCountCtx{Context: context.Background(), remaining: budget}
+		d := allGatherDemand(4)
+		sub, err := SolveCtx(ctx, d, Options{E: 1, Engine: EngineExact})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if err := CheckSolution(d, sub); err != nil {
+			t.Fatalf("budget %d: incumbent invalid: %v", budget, err)
+		}
+	}
+}

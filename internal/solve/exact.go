@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -14,12 +15,29 @@ import (
 // budget; callers fall back to the greedy engine.
 var errTooLarge = errors.New("solve: MILP instance exceeds size budget")
 
+// horizonNodeBudget caps the branch-and-bound nodes spent proving one
+// fixed-horizon MILP; totalNodeBudget and totalPivotBudget cap the
+// nodes and simplex pivots spent across the whole horizon loop of one
+// exact solve. The totals are the deterministic stand-in for a
+// wall-clock limit: they truncate pathological instances — many
+// horizons each burning the node cap, or few nodes with enormous
+// degenerate relaxations — at the same point regardless of machine
+// load, so schedules stay reproducible across worker counts. The
+// pivot budget tracks actual work (a 384-binary relaxation can cost
+// a thousand times more per node than a small one); the node budget
+// backstops near-zero-pivot warm re-solves.
+const (
+	horizonNodeBudget = 4000
+	totalNodeBudget   = 6 * horizonNodeBudget
+	totalPivotBudget  = 20000
+)
+
 // exactSolve finds the minimum-epoch schedule by solving fixed-horizon
 // feasibility MILPs for growing horizons T, starting at the lower bound
 // (Appendix A.1: "the minimum number of epochs required to satisfy the
 // sub-demand"). The greedy schedule provides both the incumbent for each
 // MILP and the upper bound on T.
-func exactSolve(d *Demand, tau float64, opts Options) (*SubSchedule, error) {
+func exactSolve(ctx context.Context, d *Demand, tau float64, opts Options) (*SubSchedule, error) {
 	maxBinaries, budget := opts.MaxBinaries, opts.TimeLimit
 	// Size gate BEFORE any expensive work: the time-expanded variable
 	// count at the smallest useful horizon already tells us whether the
@@ -46,17 +64,40 @@ func exactSolve(d *Demand, tau float64, opts Options) (*SubSchedule, error) {
 		return &g, nil
 	}
 
-	deadline := time.Now().Add(budget)
+	// A positive budget wall-clock-caps the refinement — an explicit
+	// caller opt-in, because truncation then fires at load-dependent
+	// points and results stop being reproducible across worker counts.
+	// The default (budget 0) leaves effort bounded deterministically by
+	// the size gate above plus the node and pivot budgets.
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
 	best := greedy
-	for T := lb; T < greedy.Epochs; T++ {
-		remain := time.Until(deadline)
-		if remain <= 0 {
+	nodesLeft, pivotsLeft := totalNodeBudget, totalPivotBudget
+	for T := lb; T < greedy.Epochs && nodesLeft > 0 && pivotsLeft > 0; T++ {
+		remain := time.Duration(0)
+		if !deadline.IsZero() {
+			remain = time.Until(deadline)
+			if remain <= 0 {
+				break
+			}
+		}
+		// Cancellation behaves like the per-solve deadline: stop refining
+		// and return the greedy incumbent (anytime semantics).
+		if ctx.Err() != nil {
 			break
+		}
+		maxNodes := horizonNodeBudget
+		if nodesLeft < maxNodes {
+			maxNodes = nodesLeft
 		}
 		hs := sp.Child("milp.horizon")
 		hs.SetInt("T", int64(T))
-		sched, err := solveHorizon(d, tau, T, maxBinaries, remain, opts.MILPWorkers, hs)
+		sched, nodes, pivots, err := solveHorizon(ctx, d, tau, T, maxBinaries, remain, maxNodes, pivotsLeft, opts.MILPWorkers, hs)
 		hs.End()
+		nodesLeft -= nodes
+		pivotsLeft -= pivots
 		if err == errTooLarge {
 			return nil, err
 		}
@@ -73,11 +114,13 @@ func exactSolve(d *Demand, tau float64, opts Options) (*SubSchedule, error) {
 	return &out, nil
 }
 
-// solveHorizon builds and solves the fixed-horizon MILP. It returns nil
-// (no error) when the horizon is infeasible or unproven within the time
-// limit. The span (nil-safe) receives the MILP's size, node count, and
-// simplex pivot totals.
-func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Duration, workers int, sp *obs.Span) (*SubSchedule, error) {
+// solveHorizon builds and solves the fixed-horizon MILP. It returns a
+// nil schedule (no error) when the horizon is infeasible or unproven
+// within the node/time budget, plus the branch-and-bound nodes spent so
+// the caller can charge them against its total budget. The span
+// (nil-safe) receives the MILP's size, node count, and simplex pivot
+// totals.
+func solveHorizon(ctx context.Context, d *Demand, tau float64, T, maxBinaries int, budget time.Duration, maxNodes, maxPivots, workers int, sp *obs.Span) (*SubSchedule, int, int, error) {
 	n := d.NumGPUs
 	type key struct{ p, i, j, t int }
 	varOf := make(map[key]int)
@@ -105,10 +148,10 @@ func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Durati
 		}
 	}
 	if len(keys) == 0 {
-		return &SubSchedule{Tau: tau, Epochs: 0, Engine: "exact"}, nil
+		return &SubSchedule{Tau: tau, Epochs: 0, Engine: "exact"}, 0, 0, nil
 	}
 	if len(keys) > maxBinaries {
-		return nil, errTooLarge
+		return nil, 0, 0, errTooLarge
 	}
 
 	prob := milp.NewProblem(len(keys))
@@ -146,7 +189,7 @@ func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Durati
 			}
 			if len(terms) == 0 {
 				if need[j] {
-					return nil, nil // horizon too short to deliver at all
+					return nil, 0, 0, nil // horizon too short to deliver at all
 				}
 				continue
 			}
@@ -218,9 +261,9 @@ func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Durati
 		}
 	}
 
-	sol, err := milp.Solve(prob, milp.Options{TimeLimit: budget, MaxNodes: 4000, Workers: workers})
+	sol, err := milp.SolveCtx(ctx, prob, milp.Options{TimeLimit: budget, MaxNodes: maxNodes, MaxLPIters: maxPivots, Workers: workers})
 	if err != nil {
-		return nil, fmt.Errorf("solve: horizon %d: %w", T, err)
+		return nil, 0, 0, fmt.Errorf("solve: horizon %d: %w", T, err)
 	}
 	sp.SetInt("binaries", int64(len(keys)))
 	sp.SetInt("milp.nodes", int64(sol.Nodes))
@@ -229,7 +272,7 @@ func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Durati
 	sp.Count("milp.nodes", float64(sol.Nodes))
 	sp.Count("lp.pivots", float64(sol.LPIters))
 	if sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible {
-		return nil, nil
+		return nil, sol.Nodes, sol.LPIters, nil
 	}
 
 	sched := &SubSchedule{Tau: tau, Engine: "exact"}
@@ -245,7 +288,7 @@ func solveHorizon(d *Demand, tau float64, T, maxBinaries int, budget time.Durati
 		}
 	}
 	pruneUnused(d, sched)
-	return sched, nil
+	return sched, sol.Nodes, sol.LPIters, nil
 }
 
 // pruneUnused drops transfers whose delivery is never needed: the

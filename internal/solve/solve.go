@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,7 +52,11 @@ type Options struct {
 	Engine Engine
 	// MaxBinaries caps the exact MILP's variable count (default 384).
 	MaxBinaries int
-	// TimeLimit bounds the exact engine per demand (default 2s).
+	// TimeLimit, when positive, wall-clock-caps the exact engine per
+	// demand; truncated refinement keeps the greedy incumbent. The
+	// default 0 relies on the deterministic effort bounds instead
+	// (MaxBinaries plus the per-solve node and simplex-pivot budgets),
+	// so results do not depend on machine load.
 	TimeLimit time.Duration
 	// Seed drives randomized restarts (deterministic per seed).
 	Seed int64
@@ -73,9 +78,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBinaries <= 0 {
 		o.MaxBinaries = 384
-	}
-	if o.TimeLimit <= 0 {
-		o.TimeLimit = 2 * time.Second
 	}
 	if o.Restarts <= 0 {
 		o.Restarts = 16
@@ -103,6 +105,20 @@ func (o Options) TauFor(d *Demand) float64 {
 
 // Solve synthesizes a sub-schedule for the demand.
 func Solve(d *Demand, opts Options) (*SubSchedule, error) {
+	return SolveCtx(context.Background(), d, opts)
+}
+
+// SolveCtx is Solve under a context. Cancellation is cooperative and
+// anytime: an exact solve interrupted mid-search returns its greedy
+// incumbent (a complete, valid sub-schedule) rather than an error; only a
+// context cancelled before any engine produced a result yields ctx.Err().
+func SolveCtx(ctx context.Context, d *Demand, opts Options) (*SubSchedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -137,9 +153,9 @@ func Solve(d *Demand, opts Options) (*SubSchedule, error) {
 		opts.Span.Count("solve.restarts", 1)
 		return improveSolve(d, tau, opts.Seed, opts.Restarts), nil
 	case EngineExact:
-		return exactSolve(d, tau, opts)
+		return exactSolve(ctx, d, tau, opts)
 	case EngineAuto:
-		s, err := exactSolve(d, tau, opts)
+		s, err := exactSolve(ctx, d, tau, opts)
 		if err == errTooLarge {
 			opts.Span.Count("solve.restarts", 1)
 			return improveSolve(d, tau, opts.Seed, opts.Restarts), nil

@@ -24,6 +24,7 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // NodeKind classifies a physical node.
@@ -266,6 +267,33 @@ func (t *Topology) ClassShare(class int) float64 {
 // must divide it between them.
 func (t *Topology) BandwidthShare(d int) float64 {
 	return t.ClassShare(t.Dims[d].PortClass)
+}
+
+// Fingerprint returns a canonical identity string for the topology's
+// synthesis-relevant structure: GPU count and, per extracted dimension,
+// its (α, β) link class, port class, and exact group membership. Two
+// topologies with equal fingerprints produce identical sketch searches
+// and identical sub-demands, so the fingerprint keys cross-request caches
+// (internal/engine). Name, raw nodes, and links are deliberately
+// excluded: they do not influence synthesis once dimensions are
+// extracted.
+func (t *Topology) Fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n%d", t.NumGPUs())
+	for _, d := range t.Dims {
+		fmt.Fprintf(&sb, ";d(a%.9g,b%.9g,c%d", d.Alpha, d.Beta, d.PortClass)
+		for _, grp := range d.Groups {
+			sb.WriteString(",g")
+			for i, gpu := range grp {
+				if i > 0 {
+					sb.WriteByte('.')
+				}
+				fmt.Fprintf(&sb, "%d", gpu)
+			}
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
 }
 
 // String summarizes the topology.

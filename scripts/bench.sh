@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
-# Solver micro-benchmarks, recorded to BENCH_solver.json at the repo root.
+# Solver micro-benchmarks, recorded to BENCH_solver.json at the repo root,
+# plus the engine warm-vs-cold comparison, recorded to BENCH_engine.json.
 #
-#   scripts/bench.sh          # full run (3 samples each), writes BENCH_solver.json
-#   scripts/bench.sh -quick   # one short sample to a temp file (the ci.sh smoke)
+#   scripts/bench.sh          # full run (3 samples each), writes both JSONs
+#   scripts/bench.sh -quick   # one short sample to temp files (the ci.sh smoke)
 #
-# The JSON records the best ns/op per benchmark plus the solver-internal
-# metrics the benchmarks report (lp.pivots per solve, milp.nodes per
-# search), alongside the frozen pre-warm-start baseline so the speedup is
-# auditable without digging through git history.
+# BENCH_solver.json records the best ns/op per benchmark plus the
+# solver-internal metrics the benchmarks report (lp.pivots per solve,
+# milp.nodes per search), alongside the frozen pre-warm-start baseline so
+# the speedup is auditable without digging through git history.
+# BENCH_engine.json records a cold Plan (fresh engine, full pipeline)
+# against a warm Plan (shared engine, cache-served) on the same workload,
+# with the resulting speedup.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 count=3
 bench_flags=()
 out_json=BENCH_solver.json
+engine_json=BENCH_engine.json
 if [ "${1:-}" = "-quick" ]; then
     count=1
     bench_flags=(-benchtime 1x)
     out_json=$(mktemp -t bench_smoke.XXXXXX.json)
+    engine_json=$(mktemp -t bench_engine_smoke.XXXXXX.json)
 fi
 
 raw=$(mktemp)
@@ -70,3 +76,25 @@ END {
 ' "$raw" > "$out_json"
 
 echo "wrote $out_json"
+
+eraw=$(mktemp)
+trap 'rm -f "$raw" "$eraw"' EXIT
+go test -run '^$' -bench '^BenchmarkEngine(Cold|Warm)Plan$' -count "$count" \
+    "${bench_flags[@]+"${bench_flags[@]}"}" \
+    ./internal/engine/ | tee "$eraw"
+
+awk '
+/^BenchmarkEngineColdPlan/ { ns = $3 + 0; if (cold == 0 || ns < cold) cold = ns }
+/^BenchmarkEngineWarmPlan/ { ns = $3 + 0; if (warm == 0 || ns < warm) warm = ns }
+END {
+    printf "{\n"
+    printf "  \"workload\": \"AllGather 1MiB on h800-small-8gpu\",\n"
+    printf "  \"cold_plan\": {\"ns_per_op\": %d},\n", cold
+    printf "  \"warm_plan\": {\"ns_per_op\": %d},\n", warm
+    printf "  \"warm_speedup\": %.2f,\n", (warm > 0 ? cold / warm : 0)
+    printf "  \"note\": \"cold = fresh engine per plan (full sketch search + solves); warm = shared engine, second identical plan served from the sketch and sub-schedule caches. Best ns/op per variant.\"\n"
+    printf "}\n"
+}
+' "$eraw" > "$engine_json"
+
+echo "wrote $engine_json"

@@ -25,8 +25,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core/milp/sim/verify shard) =="
-go test -race ./internal/core/ ./internal/milp/ ./internal/sim/ ./internal/verify/
+echo "== go test -race (core/engine/milp/sim/verify shard) =="
+go test -race ./internal/core/ ./internal/engine/ ./internal/milp/ ./internal/sim/ ./internal/verify/
 
 echo "== fuzz smoke ($FUZZTIME per target) =="
 go test ./internal/verify/ -run='^$' -fuzz='^FuzzValidate$' -fuzztime="$FUZZTIME"

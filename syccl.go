@@ -20,8 +20,11 @@
 package syccl
 
 import (
+	"context"
+
 	"syccl/internal/collective"
 	"syccl/internal/core"
+	"syccl/internal/engine"
 	"syccl/internal/metrics"
 	"syccl/internal/mxml"
 	"syccl/internal/schedule"
@@ -54,6 +57,17 @@ type (
 	RuntimeParams = mxml.Params
 	// TopologyConfig parameterizes custom cluster construction.
 	TopologyConfig = topology.Config
+	// Engine is a long-lived planner with persistent cross-request caches
+	// (enumerated sketches per topology fingerprint, solved sub-schedules
+	// per canonical sub-demand signature). Serve repeated or concurrent
+	// synthesis requests through one Engine to reuse work across them.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine (cache bounds, shard count,
+	// observability).
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of an Engine's lifetime cache and
+	// cancellation counters.
+	EngineStats = engine.Stats
 )
 
 // Topology constructors (§7.1 and Appendix B).
@@ -88,10 +102,27 @@ var (
 )
 
 // Synthesize runs the SyCCL pipeline and returns the best schedule found
-// together with its simulator-predicted completion time.
+// together with its simulator-predicted completion time. It is the
+// one-shot form: nothing is cached across calls. Long-lived callers
+// should construct an Engine with NewEngine and use Plan instead.
 func Synthesize(top *Topology, col *Collective, opts Options) (*Result, error) {
 	return core.Synthesize(top, col, opts)
 }
+
+// SynthesizeContext is Synthesize under a context with cooperative
+// cancellation and anytime semantics: when ctx is cancelled or its
+// deadline expires mid-run, the best fully-validated schedule found so
+// far is returned with Result.Partial set, or ctx.Err() when nothing
+// completed the coarse pass yet.
+func SynthesizeContext(ctx context.Context, top *Topology, col *Collective, opts Options) (*Result, error) {
+	return core.SynthesizeContext(ctx, top, col, opts)
+}
+
+// NewEngine builds a long-lived planner. Plan(ctx, top, col, opts) on the
+// returned Engine behaves like SynthesizeContext but persists sketch and
+// sub-schedule caches across requests, so warm plans on the same (or an
+// isomorphic) topology skip most of the search and solver work.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
 // Simulate predicts a schedule's completion time on a topology.
 func Simulate(top *Topology, s *Schedule, opts SimOptions) (*SimResult, error) {
