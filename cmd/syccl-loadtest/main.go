@@ -1,0 +1,83 @@
+// Command syccl-loadtest drives cold/warm traffic at a syccl-serve
+// daemon and reports latency percentiles and the coalescing hit rate.
+// With no -addr it spins up an in-process server on a loopback port, so
+// a single invocation benchmarks the whole serving stack with zero
+// setup; scripts/loadtest.sh uses that mode to produce BENCH_serve.json.
+//
+// Usage:
+//
+//	syccl-loadtest -out BENCH_serve.json
+//	syccl-loadtest -addr http://127.0.0.1:8080 -topo a100x16 -coll alltoall -size 64M
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"syccl/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "daemon base URL (empty = run an in-process server)")
+		topo        = flag.String("topo", "dgx4", "topology spec")
+		coll        = flag.String("coll", "allgather", "collective kind")
+		size        = flag.String("size", "1M", "aggregate data size")
+		cold        = flag.Int("cold", 16, "distinct-demand requests (each a genuine synthesis)")
+		warm        = flag.Int("warm", 128, "duplicate requests after the store is primed")
+		concurrency = flag.Int("concurrency", 8, "client goroutines per phase")
+		timeoutMS   = flag.Int64("timeout-ms", 0, "per-request deadline forwarded to the daemon (0 = server default)")
+		out         = flag.String("out", "", "write the report as JSON to this file (default stdout only)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "syccl-loadtest:", err)
+		os.Exit(1)
+	}
+
+	base := *addr
+	if base == "" {
+		ts := httptest.NewServer(serve.New(serve.Options{}))
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("syccl-loadtest: in-process daemon at %s\n", base)
+	} else if resp, err := http.Get(base + "/healthz"); err != nil {
+		fail(fmt.Errorf("daemon at %s unreachable: %w", base, err))
+	} else {
+		resp.Body.Close()
+	}
+
+	report, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:     base,
+		Topology:    *topo,
+		Collective:  *coll,
+		Size:        *size,
+		Cold:        *cold,
+		Warm:        *warm,
+		Concurrency: *concurrency,
+		TimeoutMS:   *timeoutMS,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s\n", data)
+	fmt.Printf("cold p50 %.0fus p99 %.0fus | warm p50 %.0fus p99 %.0fus | warm speedup %.1fx | hit rate %.1f%% | errors %d\n",
+		report.Cold.P50us, report.Cold.P99us, report.Warm.P50us, report.Warm.P99us,
+		report.WarmSpeedup, 100*report.CoalescingHitRate, report.Errors)
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

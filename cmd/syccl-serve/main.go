@@ -1,0 +1,63 @@
+// Command syccl-serve runs the SyCCL planner as a long-lived HTTP
+// daemon: a shared engine with persistent caches behind a JSON API with
+// request coalescing, admission control, and graceful drain on
+// SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	syccl-serve -addr 127.0.0.1:8080
+//	curl -s localhost:8080/v1/synthesize -d '{"topology":"dgx4","collective":"allgather","size":"1M"}'
+//
+// Endpoints: POST /v1/synthesize, GET /v1/schedule/{id}, GET /healthz,
+// GET /statsz, GET /tracez.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"syscall"
+
+	"syccl/internal/cli"
+	"syccl/internal/serve"
+)
+
+func main() {
+	opts := cli.NewServeFlags(flag.CommandLine)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "syccl-serve:", err)
+		os.Exit(1)
+	}
+	if err := opts.Validate(); err != nil {
+		fail(err)
+	}
+
+	s := serve.New(serve.Options{
+		Concurrency:    opts.Concurrency,
+		QueueDepth:     opts.QueueDepth,
+		StoreEntries:   opts.StoreEntries,
+		DefaultTimeout: opts.Timeout,
+		DefaultWorkers: opts.Workers,
+		RetryAfter:     opts.RetryAfter,
+		MaxBodyBytes:   opts.MaxBody,
+	})
+	hs := &http.Server{Addr: opts.Addr, Handler: s}
+	done := s.DrainOnSignal(hs, opts.DrainTimeout, syscall.SIGTERM, syscall.SIGINT)
+
+	fmt.Printf("syccl-serve: listening on %s (concurrency=%d queue=%d store=%d)\n",
+		opts.Addr, opts.Concurrency, opts.QueueDepth, opts.StoreEntries)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	// ListenAndServe returned ErrServerClosed: a signal landed and the
+	// drain is finishing. Wait for it, then report what the process did.
+	<-done
+	snap := s.Stats()
+	out, _ := json.MarshalIndent(snap, "", "  ")
+	fmt.Printf("syccl-serve: drained; final stats:\n%s\n", out)
+}

@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// ServeFlags holds every syccl-serve option. Like SynthFlags, the flags
+// are registered on an injected FlagSet so parsing stays unit-testable.
+type ServeFlags struct {
+	Addr         string
+	Concurrency  int
+	QueueDepth   int
+	StoreEntries int
+	Timeout      time.Duration
+	Workers      int
+	RetryAfter   time.Duration
+	MaxBody      int64
+	DrainTimeout time.Duration
+}
+
+// NewServeFlags registers syccl-serve's flags on fs and returns the
+// backing struct.
+func NewServeFlags(fs *flag.FlagSet) *ServeFlags {
+	f := &ServeFlags{}
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&f.Concurrency, "concurrency", 0, "max simultaneous solves (0 = GOMAXPROCS)")
+	fs.IntVar(&f.QueueDepth, "queue-depth", 64, "flights allowed to wait for a solve slot; beyond it requests get 429")
+	fs.IntVar(&f.StoreEntries, "store-entries", 256, "schedules retained in the LRU result store")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "default synthesis deadline for requests without timeout_ms (0 = none)")
+	fs.IntVar(&f.Workers, "workers", 0, "default synthesis parallelism for requests without workers (0 = GOMAXPROCS)")
+	fs.DurationVar(&f.RetryAfter, "retry-after", time.Second, "Retry-After hint returned with 429s")
+	fs.Int64Var(&f.MaxBody, "max-body", 1<<20, "request body size limit in bytes")
+	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 30*time.Second, "grace period on SIGTERM/SIGINT before in-flight solves are cancelled into anytime results")
+	return f
+}
+
+// Validate surfaces nonsensical flag combinations before the server
+// binds its listener.
+func (f *ServeFlags) Validate() error {
+	if f.Addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if f.Concurrency < 0 {
+		return fmt.Errorf("-concurrency must be >= 0")
+	}
+	if f.QueueDepth < 0 {
+		return fmt.Errorf("-queue-depth must be >= 0")
+	}
+	if f.StoreEntries < 0 {
+		return fmt.Errorf("-store-entries must be >= 0")
+	}
+	if f.Timeout < 0 || f.RetryAfter < 0 || f.DrainTimeout < 0 {
+		return fmt.Errorf("durations must be >= 0")
+	}
+	if f.MaxBody <= 0 {
+		return fmt.Errorf("-max-body must be > 0")
+	}
+	if f.Workers < 0 || f.Workers > 4096 {
+		return fmt.Errorf("-workers must be in [0, 4096]")
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+)
+
+func parseServe(t *testing.T, args ...string) (*ServeFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("syccl-serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := NewServeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return f, f.Validate()
+}
+
+func TestServeFlagsDefaults(t *testing.T) {
+	f, err := parseServe(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Addr != "127.0.0.1:8080" || f.QueueDepth != 64 || f.StoreEntries != 256 {
+		t.Fatalf("unexpected defaults: %+v", f)
+	}
+	if f.RetryAfter != time.Second || f.DrainTimeout != 30*time.Second {
+		t.Fatalf("unexpected duration defaults: %+v", f)
+	}
+	if f.Concurrency != 0 || f.Workers != 0 || f.Timeout != 0 {
+		t.Fatalf("auto-sized knobs should default to 0: %+v", f)
+	}
+}
+
+func TestServeFlagsParse(t *testing.T) {
+	f, err := parseServe(t,
+		"-addr", ":9999",
+		"-concurrency", "3",
+		"-queue-depth", "8",
+		"-store-entries", "32",
+		"-timeout", "250ms",
+		"-workers", "2",
+		"-retry-after", "5s",
+		"-max-body", "4096",
+		"-drain-timeout", "1m",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Addr != ":9999" || f.Concurrency != 3 || f.QueueDepth != 8 || f.StoreEntries != 32 {
+		t.Fatalf("parse mismatch: %+v", f)
+	}
+	if f.Timeout != 250*time.Millisecond || f.Workers != 2 || f.RetryAfter != 5*time.Second {
+		t.Fatalf("parse mismatch: %+v", f)
+	}
+	if f.MaxBody != 4096 || f.DrainTimeout != time.Minute {
+		t.Fatalf("parse mismatch: %+v", f)
+	}
+}
+
+func TestServeFlagsValidate(t *testing.T) {
+	bad := [][]string{
+		{"-addr", ""},
+		{"-concurrency", "-1"},
+		{"-queue-depth", "-1"},
+		{"-store-entries", "-5"},
+		{"-timeout", "-1s"},
+		{"-retry-after", "-1s"},
+		{"-drain-timeout", "-1s"},
+		{"-max-body", "0"},
+		{"-workers", "-1"},
+		{"-workers", "5000"},
+	}
+	for _, args := range bad {
+		if _, err := parseServe(t, args...); err == nil {
+			t.Fatalf("args %v validated but should not", args)
+		}
+	}
+}

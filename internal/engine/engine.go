@@ -68,22 +68,27 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats is a snapshot of the engine's lifetime counters.
+// Stats is a snapshot of the engine's lifetime counters. The JSON field
+// names are part of the serving API (`GET /statsz` in internal/serve
+// embeds a Stats verbatim), so they are stable snake_case.
 type Stats struct {
 	// Plans is the number of Plan calls accepted.
-	Plans int64
+	Plans int64 `json:"plans"`
 	// Cancelled counts plans cut short by their context (both anytime
 	// Partial results and outright ctx errors).
-	Cancelled int64
+	Cancelled int64 `json:"cancelled"`
 	// SolveHits / SolveMisses count cross-request sub-schedule cache
 	// lookups. ExactHits (verbatim replays) plus IsoHits (served through
 	// an isomorphism mapping) sum to SolveHits.
-	SolveHits, SolveMisses int64
-	ExactHits, IsoHits     int64
+	SolveHits   int64 `json:"solve_hits"`
+	SolveMisses int64 `json:"solve_misses"`
+	ExactHits   int64 `json:"exact_hits"`
+	IsoHits     int64 `json:"iso_hits"`
 	// Evictions counts LRU evictions from the sub-schedule cache.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// SketchHits / SketchMisses count sketch cache lookups.
-	SketchHits, SketchMisses int64
+	SketchHits   int64 `json:"sketch_hits"`
+	SketchMisses int64 `json:"sketch_misses"`
 }
 
 // Engine is a long-lived, concurrency-safe planner. The zero value is not

@@ -97,11 +97,13 @@ type Recorder struct {
 	epoch    time.Time
 	nextLane int32 // atomic; lane 0 is the main pipeline
 
-	mu       sync.Mutex
-	spans    []SpanRecord
-	counters map[string]float64
-	samples  []Sample
-	extras   []Complete
+	mu         sync.Mutex
+	spans      []SpanRecord
+	counters   map[string]float64
+	samples    []Sample
+	extras     []Complete
+	maxSpans   int // 0 = unbounded
+	maxSamples int // 0 = unbounded
 }
 
 // NewRecorder returns an active recorder whose clock starts now.
@@ -111,6 +113,60 @@ func NewRecorder() *Recorder {
 
 // Active reports whether the recorder actually records (non-nil).
 func (r *Recorder) Active() bool { return r != nil }
+
+// SetRetention bounds the recorder's retained history for long-lived
+// processes (the syccl-serve daemon records spans and counter samples for
+// every request; without a cap the backing slices grow without bound).
+// When a cap is exceeded the oldest half of that series is dropped, so
+// exported traces keep a recent window. Counter and gauge *values* are
+// exact forever — only the historical samples behind the counter
+// timelines are trimmed. Zero (the default) means unbounded; negative
+// values are treated as zero.
+func (r *Recorder) SetRetention(maxSpans, maxSamples int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if maxSpans < 0 {
+		maxSpans = 0
+	}
+	if maxSamples < 0 {
+		maxSamples = 0
+	}
+	r.maxSpans, r.maxSamples = maxSpans, maxSamples
+	r.spans = trimSpans(r.spans, r.maxSpans)
+	r.samples = trimSamples(r.samples, r.maxSamples)
+}
+
+// trimSpans drops the oldest half once the cap is exceeded, copying the
+// tail down so the backing array does not pin dropped records.
+func trimSpans(s []SpanRecord, max int) []SpanRecord {
+	if max <= 0 || len(s) <= max {
+		return s
+	}
+	keep := max / 2
+	if keep < 1 {
+		keep = 1
+	}
+	n := copy(s, s[len(s)-keep:])
+	for i := n; i < len(s); i++ {
+		s[i] = SpanRecord{}
+	}
+	return s[:n]
+}
+
+func trimSamples(s []Sample, max int) []Sample {
+	if max <= 0 || len(s) <= max {
+		return s
+	}
+	keep := max / 2
+	if keep < 1 {
+		keep = 1
+	}
+	n := copy(s, s[len(s)-keep:])
+	return s[:n]
+}
 
 func (r *Recorder) now() time.Duration { return time.Since(r.epoch) }
 
@@ -123,6 +179,7 @@ func (r *Recorder) Count(name string, delta float64) {
 	r.mu.Lock()
 	r.counters[name] += delta
 	r.samples = append(r.samples, Sample{Name: name, At: at, Value: r.counters[name]})
+	r.samples = trimSamples(r.samples, r.maxSamples)
 	r.mu.Unlock()
 }
 
@@ -136,6 +193,7 @@ func (r *Recorder) Gauge(name string, v float64) {
 	r.mu.Lock()
 	r.counters[name] = v
 	r.samples = append(r.samples, Sample{Name: name, At: at, Value: v})
+	r.samples = trimSamples(r.samples, r.maxSamples)
 	r.mu.Unlock()
 }
 
@@ -277,5 +335,6 @@ func (s *Span) End() {
 	}
 	r.mu.Lock()
 	r.spans = append(r.spans, rec)
+	r.spans = trimSpans(r.spans, r.maxSpans)
 	r.mu.Unlock()
 }

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRetentionBoundsSamples: under a sample cap the recorder keeps a
+// recent window (newest samples survive, oldest are dropped) while the
+// counter totals stay exact.
+func TestRetentionBoundsSamples(t *testing.T) {
+	r := NewRecorder()
+	r.SetRetention(0, 100)
+	for i := 0; i < 10_000; i++ {
+		r.Count("reqs", 1)
+	}
+	samples := r.Samples()
+	if len(samples) > 100 {
+		t.Fatalf("retained %d samples, cap 100", len(samples))
+	}
+	if len(samples) == 0 {
+		t.Fatal("retention dropped everything")
+	}
+	last := samples[len(samples)-1]
+	if last.Value != 10_000 {
+		t.Fatalf("newest sample value %g, want 10000", last.Value)
+	}
+	if got := r.CounterValue("reqs"); got != 10_000 {
+		t.Fatalf("counter value %g, want exact 10000 despite trimming", got)
+	}
+}
+
+// TestRetentionBoundsSpans: span history is capped and keeps the most
+// recent spans.
+func TestRetentionBoundsSpans(t *testing.T) {
+	r := NewRecorder()
+	r.SetRetention(64, 0)
+	for i := 0; i < 1000; i++ {
+		sp := r.StartSpan(fmt.Sprintf("req.%d", i))
+		sp.End()
+	}
+	spans := r.Spans()
+	if len(spans) > 64 {
+		t.Fatalf("retained %d spans, cap 64", len(spans))
+	}
+	if spans[len(spans)-1].Name != "req.999" {
+		t.Fatalf("newest span is %q, want req.999", spans[len(spans)-1].Name)
+	}
+}
+
+// TestRetentionAppliedOnSet: setting a cap below the current history
+// trims immediately, and zero caps leave history unbounded.
+func TestRetentionAppliedOnSet(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 500; i++ {
+		r.Count("c", 1)
+		r.StartSpan("s").End()
+	}
+	if len(r.Samples()) != 500 || len(r.Spans()) != 500 {
+		t.Fatalf("unbounded recorder trimmed: %d samples, %d spans", len(r.Samples()), len(r.Spans()))
+	}
+	r.SetRetention(10, 10)
+	if n := len(r.Samples()); n > 10 {
+		t.Fatalf("SetRetention left %d samples", n)
+	}
+	if n := len(r.Spans()); n > 10 {
+		t.Fatalf("SetRetention left %d spans", n)
+	}
+	// Nil recorder: SetRetention must stay a no-op.
+	var nilRec *Recorder
+	nilRec.SetRetention(1, 1)
+}

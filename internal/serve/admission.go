@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+var errQueueFull = errors.New("serve: admission queue full")
+
+// admission is the server's backpressure valve: at most `concurrency`
+// solves run at once, at most `queueDepth` flights wait for a slot, and
+// anything beyond that is rejected immediately (the handler maps the
+// rejection to 429 + Retry-After). Coalesced duplicates never reach
+// admission — only flight leaders occupy slots — so the queue bounds
+// distinct outstanding work, not client fan-in.
+type admission struct {
+	slots    chan struct{}
+	queue    chan struct{}
+	disabled bool
+}
+
+func newAdmission(concurrency, queueDepth int) *admission {
+	if concurrency <= 0 {
+		return &admission{disabled: true}
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, concurrency),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// acquire takes a solve slot, waiting in the bounded queue if all slots
+// are busy. It returns errQueueFull synchronously when the queue is also
+// full, and ctx.Err() if the flight is abandoned while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.disabled {
+		return nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errQueueFull
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	if a.disabled {
+		return
+	}
+	<-a.slots
+}

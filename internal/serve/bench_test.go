@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+)
+
+// BenchmarkWarmRequest measures the microsecond path the daemon exists
+// for: a duplicate request served end-to-end (HTTP included) from the
+// schedule store without touching the engine.
+func BenchmarkWarmRequest(b *testing.B) {
+	s := New(Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := []byte(`{"topology":"dgx4","collective":"allgather","size":"1M"}`)
+
+	// Prime the store with the one cold solve.
+	resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("prime: %d", resp.StatusCode)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warm: %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	if plans := s.Engine().Stats().Plans; plans != 1 {
+		b.Fatalf("warm benchmark invoked the engine %d times", plans)
+	}
+}
+
+// BenchmarkDecodeRequest isolates the request decoder.
+func BenchmarkDecodeRequest(b *testing.B) {
+	body := []byte(`{"topology":"a100x16","collective":"alltoall","size":"64M","timeout_ms":500,"workers":4,"seed":7}`)
+	for i := 0; i < b.N; i++ {
+		if _, aerr := DecodeRequest(bytes.NewReader(body), DefaultMaxBodyBytes); aerr != nil {
+			b.Fatal(aerr)
+		}
+	}
+}
+
+// TestPercentile pins the interpolation the load generator reports.
+func TestPercentile(t *testing.T) {
+	vals := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	sort.Float64s(vals)
+	if p := percentile(vals, 0.50); p != 55 {
+		t.Fatalf("p50 = %g, want 55", p)
+	}
+	if p := percentile(vals, 0.99); p < 99 || p > 100 {
+		t.Fatalf("p99 = %g", p)
+	}
+	if p := percentile([]float64{42}, 0.99); p != 42 {
+		t.Fatalf("singleton p99 = %g", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty p50 = %g", p)
+	}
+	st := summarize([]float64{1, 2, 3, 4})
+	if st.Count != 4 || st.MaxUS != 4 || st.MeanUS != 2.5 {
+		t.Fatalf("summarize off: %+v", st)
+	}
+}

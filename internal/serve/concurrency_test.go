@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCoalescing64 is the single-flight acceptance check: 64 concurrent
+// identical cold requests must trigger exactly one engine plan. Every
+// request gets a full 200, and each is either the leader, a coalesced
+// waiter on the flight, or a store hit if it arrived after the flight
+// finished.
+func TestCoalescing64(t *testing.T) {
+	s, ts := newTestServer(t, Options{Concurrency: 2})
+	const n = 64
+	body := `{"topology":"server8","collective":"allgather","size":"4M"}`
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]SynthesizeResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&results[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if plans := s.Engine().Stats().Plans; plans != 1 {
+		t.Fatalf("64 identical concurrent requests made %d engine plans, want exactly 1", plans)
+	}
+	var leaders, coalesced, cached int
+	for _, r := range results {
+		switch {
+		case r.Cached:
+			cached++
+		case r.Coalesced:
+			coalesced++
+		default:
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders=%d coalesced=%d cached=%d, want exactly one leader", leaders, coalesced, cached)
+	}
+	if st := s.Stats().Server; st.Requests != n {
+		t.Fatalf("requests counter = %d, want %d", st.Requests, n)
+	}
+	// All responses share the one solve's answer.
+	for i, r := range results {
+		if r.PredictedTimeS != results[0].PredictedTimeS || r.ID != results[0].ID {
+			t.Fatalf("response %d diverged from the shared flight: %+v vs %+v", i, r, results[0])
+		}
+	}
+}
+
+// TestAdmissionQueue unit-tests the backpressure valve: slots fill,
+// the queue bounds waiters, and overflow fails fast with errQueueFull.
+func TestAdmissionQueue(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx, cancel := contextWithTimeout(t, 5*time.Second)
+	defer cancel()
+
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second acquire queues; third overflows while the queue is occupied.
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(ctx) }()
+	waitFor(t, 2*time.Second, "waiter to enter the queue", func() bool { return len(a.queue) == 1 })
+	if err := a.acquire(ctx); err != errQueueFull {
+		t.Fatalf("overflow acquire = %v, want errQueueFull", err)
+	}
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.release()
+
+	// An abandoned queued flight leaves the queue via its context.
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	qctx, qcancel := contextWithTimeout(t, time.Hour)
+	go func() { queued <- a.acquire(qctx) }()
+	waitFor(t, 2*time.Second, "waiter to queue", func() bool { return len(a.queue) == 1 })
+	qcancel()
+	if err := <-queued; err == nil || err == errQueueFull {
+		t.Fatalf("cancelled queued acquire = %v, want context error", err)
+	}
+	if len(a.queue) != 0 {
+		t.Fatal("cancelled waiter left a queue token behind")
+	}
+}
+
+// TestQueueFull429 drives saturation end to end: with the single solve
+// slot held and the one queue seat occupied by a live flight, the next
+// distinct request is rejected with 429 and a Retry-After hint. The test
+// itself holds the slot, so saturation does not depend on solve speed.
+func TestQueueFull429(t *testing.T) {
+	s, ts := newTestServer(t, Options{Concurrency: 1, QueueDepth: 1})
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatalf("holding the solve slot: %v", err)
+	}
+	type res struct {
+		status int
+		err    error
+	}
+	queued := make(chan res, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json",
+			strings.NewReader(`{"topology":"server8","collective":"allgather","size":"4M","seed":1}`))
+		if err != nil {
+			queued <- res{err: err}
+			return
+		}
+		resp.Body.Close()
+		queued <- res{status: resp.StatusCode}
+	}()
+	waitFor(t, 10*time.Second, "flight to occupy the queue seat", func() bool {
+		return len(s.adm.queue) == 1
+	})
+
+	resp, raw := postJSON(t, ts.URL, `{"topology":"server8","collective":"allgather","size":"4M","seed":2}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 missing Retry-After header")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == nil || eb.Error.Code != CodeQueueFull {
+		t.Fatalf("429 body not structured queue_full: %s", raw)
+	}
+	if got := s.Stats().Server.QueueRejections; got != 1 {
+		t.Fatalf("queue rejections = %d, want 1", got)
+	}
+
+	// Free the slot: the queued flight proceeds and completes normally —
+	// backpressure delayed it but lost nothing.
+	s.adm.release()
+	r := <-queued
+	if r.err != nil {
+		t.Fatalf("queued request errored at transport level: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("queued request got %d after the slot freed, want 200", r.status)
+	}
+}
+
+// TestSigtermDrainZeroLoss is the graceful-shutdown acceptance check:
+// requests accepted before SIGTERM all complete with valid responses,
+// requests after it are refused with 503, and the drain channel closes.
+func TestSigtermDrainZeroLoss(t *testing.T) {
+	s, ts := newTestServer(t, Options{Concurrency: 1, QueueDepth: 8})
+	done := s.DrainOnSignal(nil, 30*time.Second, syscall.SIGUSR1)
+
+	// Hold the only solve slot so every accepted request is still in
+	// flight — blocked in admission — when the signal lands. Without
+	// this the solves are fast enough to finish before delivery.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatalf("holding the solve slot: %v", err)
+	}
+	const n = 6
+	var wg sync.WaitGroup
+	statuses := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds: each is a genuine cold solve.
+			body := fmt.Sprintf(`{"topology":"server8","collective":"allgather","size":"4M","seed":%d}`, i+1)
+			resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	// Wait until every request is accepted (inside the handler), then
+	// deliver the signal mid-flight.
+	waitFor(t, 20*time.Second, "all requests accepted", func() bool { return s.InFlight() >= n })
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	// Only release the solve slot once the drain is underway, so the
+	// accepted requests genuinely complete during the drain window.
+	waitFor(t, 10*time.Second, "draining flag", func() bool { return s.Draining() })
+	s.adm.release()
+	wg.Wait()
+
+	for i := range statuses {
+		if errs[i] != nil {
+			t.Fatalf("accepted request %d lost at transport level: %v", i, errs[i])
+		}
+		if statuses[i] != http.StatusOK && statuses[i] != http.StatusPartialContent {
+			t.Fatalf("accepted request %d got %d, want 200/206", i, statuses[i])
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	if !s.Draining() {
+		t.Fatal("server not marked draining after signal")
+	}
+	if resp, _ := postJSON(t, ts.URL, `{"topology":"dgx4","collective":"allgather","size":"1M"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request got %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestForcedDrainCancelsIntoResponses: when the drain deadline expires
+// before in-flight solves finish, they are cancelled into anytime
+// responses — the client still hears back (206 Partial or a structured
+// deadline error), never silence.
+func TestForcedDrainCancelsIntoResponses(t *testing.T) {
+	s, ts := newTestServer(t, Options{Concurrency: 2})
+	status := make(chan int, 1)
+	tErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json",
+			strings.NewReader(`{"topology":"a100x32","collective":"alltoall","size":"1G"}`))
+		if err != nil {
+			tErr <- err
+			return
+		}
+		resp.Body.Close()
+		tErr <- nil
+		status <- resp.StatusCode
+	}()
+	waitFor(t, 30*time.Second, "slow solve to start", func() bool { return s.Engine().Stats().Plans >= 1 })
+
+	ctx, cancel := contextWithTimeout(t, 0)
+	cancel()
+	start := time.Now()
+	s.Drain(ctx)
+	if err := <-tErr; err != nil {
+		t.Fatalf("in-flight request lost: %v", err)
+	}
+	st := <-status
+	if st != http.StatusPartialContent && st != http.StatusGatewayTimeout {
+		t.Fatalf("forced drain returned %d, want 206 or 504", st)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("forced drain took %v", d)
+	}
+}

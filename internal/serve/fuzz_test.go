@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest hammers the request decoder with arbitrary bodies
+// (alongside internal/verify's FuzzValidate/FuzzSimParity). Properties:
+// the decoder never panics, every rejection is a well-formed structured
+// error with a sensible status, and every accepted request re-encodes
+// and re-decodes to itself (the wire form is a fixed point).
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		// Valid: minimal, fully specified, with optional knobs.
+		`{"topology":"dgx4","collective":"allgather","size":"1M"}`,
+		`{"topology":"a100x16","collective":"alltoall","size":"64M","timeout_ms":500,"e1":3.0,"e2":0.5,"workers":4,"seed":7,"include_schedule":true,"bypass_store":true}`,
+		`{"topology":"server8","collective":"allreduce","size":"1G","seed":-1}`,
+		`  {"topology":"h800x64","collective":"reducescatter","size":"4K"}  `,
+		// Truncated at various depths.
+		`{"topology":"dgx4","collective":"allgather","si`,
+		`{"topology":"dgx4",`,
+		`{`,
+		``,
+		// Wrong shapes and junk.
+		`[]`,
+		`"just a string"`,
+		`{"topology":42,"collective":true,"size":[]}`,
+		`{"topology":"dgx4","collective":"allgather","size":"1M","unknown_field":1}`,
+		`{"topology":"dgx4","collective":"allgather","size":"1M"}{"trailing":1}`,
+		`{"timeout_ms":-9223372036854775808}`,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, aerr := DecodeRequest(bytes.NewReader(body), 1<<16)
+		if aerr != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			switch aerr.Status {
+			case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+			default:
+				t.Fatalf("decoder error with status %d", aerr.Status)
+			}
+			if aerr.Code == "" || aerr.Message == "" {
+				t.Fatalf("unstructured decode error: %+v", aerr)
+			}
+			return
+		}
+		// Accepted requests satisfy the documented invariants...
+		if strings.TrimSpace(req.Topology) == "" || strings.TrimSpace(req.Collective) == "" || strings.TrimSpace(req.Size) == "" {
+			t.Fatalf("decoder accepted a request with missing fields: %+v", req)
+		}
+		if req.TimeoutMS < 0 || req.Workers < 0 || req.Workers > 4096 || req.E1 < 0 || req.E2 < 0 {
+			t.Fatalf("decoder accepted out-of-range values: %+v", req)
+		}
+		// ...and are a fixed point of encode→decode.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, aerr := DecodeRequest(bytes.NewReader(enc), 1<<16)
+		if aerr != nil {
+			t.Fatalf("re-decode rejected %s: %v", enc, aerr)
+		}
+		if *again != *req {
+			t.Fatalf("decode not idempotent: %+v vs %+v", req, again)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoad, the in-repo load generator behind
+// scripts/loadtest.sh.
+type LoadConfig struct {
+	// BaseURL is the daemon under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Topology/Collective/Size describe the workload (defaults: dgx4
+	// allgather 1M).
+	Topology   string
+	Collective string
+	Size       string
+	// Cold is how many distinct-demand requests to issue (each with its
+	// own seed, so every one is a genuine full synthesis when the daemon
+	// is fresh). Warm is how many duplicates of one fixed demand to
+	// issue afterwards — after the first, all of them should be served
+	// from the store or coalesced.
+	Cold, Warm int
+	// Concurrency is the number of client goroutines per phase.
+	Concurrency int
+	// TimeoutMS is forwarded to each request (0 = server default).
+	TimeoutMS int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Topology == "" {
+		c.Topology = "dgx4"
+	}
+	if c.Collective == "" {
+		c.Collective = "allgather"
+	}
+	if c.Size == "" {
+		c.Size = "1M"
+	}
+	if c.Cold <= 0 {
+		c.Cold = 16
+	}
+	if c.Warm <= 0 {
+		c.Warm = 128
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	return c
+}
+
+// LatencyStats summarizes one phase's request latencies.
+type LatencyStats struct {
+	Count  int     `json:"count"`
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	MeanUS float64 `json:"mean_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// LoadReport is what scripts/loadtest.sh records to BENCH_serve.json.
+type LoadReport struct {
+	Workload string       `json:"workload"`
+	Cold     LatencyStats `json:"cold"`
+	Warm     LatencyStats `json:"warm"`
+	// WarmSpeedup is cold p50 over warm p50.
+	WarmSpeedup float64 `json:"warm_speedup_p50"`
+	// CoalescingHitRate is (coalesced + store hits) / requests over the
+	// whole run, read from /statsz.
+	CoalescingHitRate float64       `json:"coalescing_hit_rate"`
+	Errors            int           `json:"errors"`
+	Stats             StatsSnapshot `json:"stats"`
+}
+
+// RunLoad drives mixed cold/warm traffic at a running daemon and
+// summarizes latency percentiles and coalescing behavior.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	client := &http.Client{}
+
+	body := func(seed int64) string {
+		return fmt.Sprintf(`{"topology":%q,"collective":%q,"size":%q,"seed":%d,"timeout_ms":%d}`,
+			cfg.Topology, cfg.Collective, cfg.Size, seed, cfg.TimeoutMS)
+	}
+
+	run := func(n int, seedFor func(i int) int64) ([]float64, int, error) {
+		lats := make([]float64, n)
+		errCount := 0
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Concurrency)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				start := time.Now()
+				resp, err := client.Post(cfg.BaseURL+"/v1/synthesize", "application/json",
+					bytes.NewReader([]byte(body(seedFor(i)))))
+				lat := float64(time.Since(start).Microseconds())
+				ok := err == nil && (resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusPartialContent)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				mu.Lock()
+				lats[i] = lat
+				if !ok {
+					errCount++
+				}
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		return lats, errCount, nil
+	}
+
+	// Cold phase: every request is a distinct demand (seed i+1).
+	coldLats, coldErrs, err := run(cfg.Cold, func(i int) int64 { return int64(i + 1) })
+	if err != nil {
+		return nil, err
+	}
+	// Warm phase: one fixed demand, repeated.
+	warmLats, warmErrs, err := run(cfg.Warm, func(int) int64 { return 0 })
+	if err != nil {
+		return nil, err
+	}
+
+	var snap StatsSnapshot
+	resp, err := client.Get(cfg.BaseURL + "/statsz")
+	if err != nil {
+		return nil, fmt.Errorf("statsz: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("statsz decode: %w", err)
+	}
+
+	report := &LoadReport{
+		Workload: fmt.Sprintf("%s %s %s (cold=%d warm=%d conc=%d)",
+			cfg.Collective, cfg.Size, cfg.Topology, cfg.Cold, cfg.Warm, cfg.Concurrency),
+		Cold:   summarize(coldLats),
+		Warm:   summarize(warmLats),
+		Errors: coldErrs + warmErrs,
+		Stats:  snap,
+	}
+	if report.Warm.P50us > 0 {
+		report.WarmSpeedup = report.Cold.P50us / report.Warm.P50us
+	}
+	if snap.Server.Requests > 0 {
+		report.CoalescingHitRate = float64(snap.Server.Coalesced+snap.Server.StoreHits) / float64(snap.Server.Requests)
+	}
+	return report, nil
+}
+
+// summarize computes latency percentiles over a copy of lats.
+func summarize(lats []float64) LatencyStats {
+	if len(lats) == 0 {
+		return LatencyStats{}
+	}
+	s := append([]float64(nil), lats...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return LatencyStats{
+		Count:  len(s),
+		P50us:  percentile(s, 0.50),
+		P99us:  percentile(s, 0.99),
+		MeanUS: sum / float64(len(s)),
+		MaxUS:  s[len(s)-1],
+	}
+}
+
+// percentile interpolates the p-quantile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

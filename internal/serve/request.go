@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"syccl/internal/cli"
+	"syccl/internal/collective"
+	"syccl/internal/core"
+	"syccl/internal/engine"
+	"syccl/internal/topology"
+)
+
+// Request is the body of POST /v1/synthesize. Topology, collective, and
+// size use the same specs as the command-line tools (cli.ParseTopology /
+// cli.BuildCollective / cli.ParseSize); everything else is optional and
+// defaults to the server's configuration.
+type Request struct {
+	// Topology is a topology spec such as "dgx4", "server8", "a100x16".
+	Topology string `json:"topology"`
+	// Collective is a collective kind such as "allgather" or "alltoall".
+	Collective string `json:"collective"`
+	// Size is the aggregate data size, e.g. "64M", "1G", "1048576".
+	Size string `json:"size"`
+	// TimeoutMS caps synthesis wall time in milliseconds. On expiry the
+	// best schedule found so far is returned with HTTP 206 and
+	// partial=true. 0 (or absent) uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// E1/E2 override the coarse/fine epoch knobs (0 = paper defaults).
+	E1 float64 `json:"e1,omitempty"`
+	E2 float64 `json:"e2,omitempty"`
+	// Workers bounds synthesis parallelism (0 = server default). Worker
+	// count never changes the schedule, so it is excluded from the
+	// coalescing key.
+	Workers int `json:"workers,omitempty"`
+	// Seed drives randomized pipeline components.
+	Seed int64 `json:"seed,omitempty"`
+	// IncludeSchedule asks for the full transfer list in the response
+	// (it is always available later via GET /v1/schedule/{id}).
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+	// BypassStore skips the served-result store so the request always
+	// reaches the engine (it still coalesces with identical in-flight
+	// requests and still warms the engine caches). Load tests use this
+	// to measure the engine-warm rather than the store-hit path.
+	BypassStore bool `json:"bypass_store,omitempty"`
+}
+
+// Error codes returned in the structured error body.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeBadTopology   = "bad_topology"
+	CodeBadCollective = "bad_collective"
+	CodeBadSize       = "bad_size"
+	CodeBodyTooLarge  = "body_too_large"
+	CodeQueueFull     = "queue_full"
+	CodeDraining      = "draining"
+	CodeDeadline      = "deadline"
+	CodeNotFound      = "not_found"
+	CodeInternal      = "internal"
+)
+
+// APIError is a structured error: it renders as
+// {"error":{"code":...,"message":...}} with the given HTTP status.
+type APIError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+func apiErrorf(status int, code, format string, args ...interface{}) *APIError {
+	return &APIError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// DecodeRequest reads and validates a synthesize request body of at most
+// maxBytes bytes. It is strict: unknown fields, trailing garbage, and
+// out-of-range values are structured 400s, and oversized bodies are 413s.
+// The decoder never panics on arbitrary input (FuzzDecodeRequest).
+func DecodeRequest(r io.Reader, maxBytes int64) (*Request, *APIError) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBodyBytes
+	}
+	lr := &io.LimitedReader{R: r, N: maxBytes + 1}
+	dec := json.NewDecoder(lr)
+	dec.DisallowUnknownFields()
+	req := &Request{}
+	if err := dec.Decode(req); err != nil {
+		if lr.N <= 0 {
+			return nil, apiErrorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds %d bytes", maxBytes)
+		}
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "malformed JSON body: %v", err)
+	}
+	// Reject trailing non-whitespace after the JSON object.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		if lr.N <= 0 {
+			return nil, apiErrorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds %d bytes", maxBytes)
+		}
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
+	}
+	if strings.TrimSpace(req.Topology) == "" {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "missing required field %q", "topology")
+	}
+	if strings.TrimSpace(req.Collective) == "" {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "missing required field %q", "collective")
+	}
+	if strings.TrimSpace(req.Size) == "" {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "missing required field %q", "size")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
+	if req.E1 < 0 || req.E2 < 0 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "e1/e2 must be >= 0")
+	}
+	if req.Workers < 0 || req.Workers > 4096 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "workers must be in [0,4096], got %d", req.Workers)
+	}
+	return req, nil
+}
+
+// resolved is a fully validated, default-filled request: concrete
+// topology and collective plus the normalized core options that the
+// engine will run with. The coalescing key is derived from this form so
+// that spelled-out defaults and omitted fields coalesce.
+type resolved struct {
+	req     *Request
+	top     *topology.Topology
+	col     *collective.Collective
+	opts    core.Options
+	timeout time.Duration
+	key     string
+	id      string
+}
+
+// resolve maps request specs onto concrete objects, surfacing each
+// failure as its own structured 400 code.
+func (s *Server) resolve(req *Request) (*resolved, *APIError) {
+	top, err := cli.ParseTopology(req.Topology)
+	if err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadTopology, "%v", err)
+	}
+	size, err := cli.ParseSize(req.Size)
+	if err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadSize, "%v", err)
+	}
+	col, err := cli.BuildCollective(req.Collective, top.NumGPUs(), size)
+	if err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadCollective, "%v", err)
+	}
+	opts := core.Options{
+		E1:      req.E1,
+		E2:      req.E2,
+		Workers: req.Workers,
+		Seed:    req.Seed,
+	}
+	// Normalize so that "absent" and "explicit default" key identically.
+	if opts.E1 <= 0 {
+		opts.E1 = 3.0
+	}
+	if opts.E2 <= 0 {
+		opts.E2 = 0.5
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = s.opts.DefaultWorkers
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	r := &resolved{req: req, top: top, col: col, opts: opts, timeout: timeout}
+	// The timeout participates in the key: two identical demands with
+	// different deadlines must not share a flight, or the longer request
+	// would inherit the shorter one's (possibly Partial) result.
+	r.key = fmt.Sprintf("%s|to=%d|bypass=%t", engine.PlanKey(top, col, opts), timeout, req.BypassStore)
+	r.id = scheduleID(engine.PlanKey(top, col, opts))
+	return r, nil
+}
+
+var errClientGone = errors.New("serve: client disconnected")

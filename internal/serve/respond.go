@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// errorBody is the envelope for structured errors:
+// {"error":{"code":"bad_topology","message":"..."}}.
+type errorBody struct {
+	Error *APIError `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"encoding failed"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	buf = append(buf, '\n')
+	_, _ = w.Write(buf)
+}
+
+func writeAPIError(w http.ResponseWriter, e *APIError) {
+	writeJSON(w, e.Status, errorBody{Error: e})
+}

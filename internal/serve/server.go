@@ -1,0 +1,522 @@
+// Package serve is the network-facing layer of the SyCCL planner: a
+// stdlib-only JSON HTTP API over a shared, long-lived engine.Engine.
+//
+// The server does the production plumbing the engine deliberately leaves
+// out:
+//
+//   - single-flight coalescing — concurrent duplicate requests (same
+//     engine.PlanKey and deadline) share one solve, so N identical cold
+//     requests cost one trip through the pipeline;
+//   - admission control — a configurable solve concurrency with a bounded
+//     wait queue; overflow is rejected immediately with 429 and a
+//     Retry-After hint rather than queued without bound;
+//   - deadlines — per-request timeouts map onto the engine's cooperative
+//     cancellation, surfacing anytime Partial schedules as HTTP 206;
+//   - a result store — completed schedules are retained in an LRU and
+//     fetchable by id, so warm duplicates are served in microseconds
+//     without touching the engine at all;
+//   - graceful drain — on SIGTERM the server stops accepting synthesis
+//     work, lets (or, past a deadline, cancels-into-Partial) every
+//     accepted request finish, and flushes stats.
+//
+// Endpoints: POST /v1/synthesize, GET /v1/schedule/{id}, GET /healthz,
+// GET /statsz, GET /tracez (Chrome trace of recent server activity).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"syccl/internal/engine"
+	"syccl/internal/metrics"
+	"syccl/internal/obs"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultQueueDepth   = 64
+	DefaultStoreEntries = 256
+	DefaultMaxBodyBytes = 1 << 20
+	DefaultRetryAfter   = 1 * time.Second
+	DefaultMaxSpans     = 16 << 10
+	DefaultMaxSamples   = 64 << 10
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the shared planner; a fresh one is built when nil.
+	Engine *engine.Engine
+	// Concurrency bounds simultaneous solves (default GOMAXPROCS).
+	Concurrency int
+	// QueueDepth bounds flights waiting for a solve slot (default 64);
+	// beyond it requests get 429 + Retry-After.
+	QueueDepth int
+	// StoreEntries bounds the served-result LRU (default 256).
+	StoreEntries int
+	// DefaultTimeout applies to requests that do not set timeout_ms
+	// (0 = no deadline).
+	DefaultTimeout time.Duration
+	// DefaultWorkers is the synthesis parallelism for requests that do
+	// not set workers (0 = GOMAXPROCS, the core default).
+	DefaultWorkers int
+	// RetryAfter is the hint returned with 429s (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Obs receives server counters, handler spans, and the engine's
+	// pipeline spans, and backs GET /tracez. A bounded recorder
+	// (DefaultMaxSpans/DefaultMaxSamples retention) is built when nil.
+	Obs *obs.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.StoreEntries <= 0 {
+		o.StoreEntries = DefaultStoreEntries
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = DefaultRetryAfter
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRecorder()
+		o.Obs.SetRetention(DefaultMaxSpans, DefaultMaxSamples)
+	}
+	if o.Engine == nil {
+		o.Engine = engine.New(engine.Options{Obs: o.Obs})
+	}
+	return o
+}
+
+// SynthesizeResponse is the body of POST /v1/synthesize (200/206) and
+// GET /v1/schedule/{id}.
+type SynthesizeResponse struct {
+	// ID fetches the stored schedule via GET /v1/schedule/{id}. Empty for
+	// Partial results, which are not stored.
+	ID         string  `json:"id,omitempty"`
+	Topology   string  `json:"topology"`
+	Collective string  `json:"collective"`
+	NumGPUs    int     `json:"num_gpus"`
+	SizeBytes  float64 `json:"size_bytes"`
+	// PredictedTimeS is the simulator-predicted completion time.
+	PredictedTimeS float64 `json:"predicted_time_s"`
+	BusBWGBps      float64 `json:"busbw_gbps"`
+	Transfers      int     `json:"transfers"`
+	// SolverCalls is how many sub-demand solves this synthesis actually
+	// executed (0 = served entirely from the engine's warm caches).
+	SolverCalls int `json:"solver_calls"`
+	// Partial marks an anytime result cut short by the deadline
+	// (HTTP 206).
+	Partial bool `json:"partial"`
+	// Coalesced marks a response that shared another request's in-flight
+	// solve.
+	Coalesced bool `json:"coalesced"`
+	// Cached marks a response served from the schedule store without
+	// invoking the engine.
+	Cached   bool          `json:"cached"`
+	Schedule *ScheduleJSON `json:"schedule,omitempty"`
+}
+
+// ServerStats is the server half of GET /statsz.
+type ServerStats struct {
+	Requests        int64 `json:"requests"`
+	Coalesced       int64 `json:"coalesced"`
+	StoreHits       int64 `json:"store_hits"`
+	StoreEntries    int   `json:"store_entries"`
+	StoreEvictions  int64 `json:"store_evictions"`
+	QueueRejections int64 `json:"queue_rejections"`
+	Partial         int64 `json:"partial"`
+	Errors          int64 `json:"errors"`
+	InFlight        int64 `json:"in_flight"`
+	Flights         int   `json:"flights"`
+	Draining        bool  `json:"draining"`
+}
+
+// StatsSnapshot is the body of GET /statsz.
+type StatsSnapshot struct {
+	Server ServerStats  `json:"server"`
+	Engine engine.Stats `json:"engine"`
+}
+
+// Server is the HTTP serving layer. Construct with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	opts    Options
+	eng     *engine.Engine
+	rec     *obs.Recorder
+	mux     *http.ServeMux
+	adm     *admission
+	flights *flightGroup
+	store   *scheduleStore
+
+	draining atomic.Bool
+	// inFlight counts accepted HTTP requests; bgFlights counts leader
+	// solve goroutines. Drain waits for both to hit zero.
+	inFlight atomic.Int64
+	bgFlight atomic.Int64
+
+	requests       atomic.Int64
+	coalesced      atomic.Int64
+	storeHits      atomic.Int64
+	storeEvictions atomic.Int64
+	rejections     atomic.Int64
+	partials       atomic.Int64
+	errs           atomic.Int64
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		eng:     opts.Engine,
+		rec:     opts.Obs,
+		adm:     newAdmission(opts.Concurrency, opts.QueueDepth),
+		flights: newFlightGroup(),
+		store:   newScheduleStore(opts.StoreEntries),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("GET /v1/schedule/{id}", s.handleSchedule)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /tracez", s.handleTracez)
+	s.mux = mux
+	return s
+}
+
+// Engine exposes the shared planner (tests assert cache behavior through
+// Engine().Stats()).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Recorder exposes the server's observability sink.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// InFlight reports accepted requests currently being served.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// Draining reports whether the server has stopped accepting synthesis
+// work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats snapshots the server and engine counters.
+func (s *Server) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Server: ServerStats{
+			Requests:        s.requests.Load(),
+			Coalesced:       s.coalesced.Load(),
+			StoreHits:       s.storeHits.Load(),
+			StoreEntries:    s.store.len(),
+			StoreEvictions:  s.storeEvictions.Load(),
+			QueueRejections: s.rejections.Load(),
+			Partial:         s.partials.Load(),
+			Errors:          s.errs.Load(),
+			InFlight:        s.inFlight.Load(),
+			Flights:         s.flights.len(),
+			Draining:        s.draining.Load(),
+		},
+		Engine: s.eng.Stats(),
+	}
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	sp := s.rec.StartSpan("http.synthesize")
+	defer sp.End()
+	s.requests.Add(1)
+	s.rec.Count("serve.requests", 1)
+
+	if s.draining.Load() {
+		writeAPIError(w, apiErrorf(http.StatusServiceUnavailable, CodeDraining, "server is draining"))
+		return
+	}
+	req, aerr := DecodeRequest(r.Body, s.opts.MaxBodyBytes)
+	if aerr == nil {
+		var res *resolved
+		res, aerr = s.resolve(req)
+		if aerr == nil {
+			sp.SetStr("topology", res.top.Name)
+			sp.SetStr("collective", res.col.Kind.String())
+			s.serveResolved(w, r, res)
+			return
+		}
+	}
+	s.errs.Add(1)
+	s.rec.Count("serve.errors", 1)
+	sp.SetStr("error", aerr.Code)
+	writeAPIError(w, aerr)
+}
+
+func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *resolved) {
+	// Warm duplicates: served straight from the store, engine untouched.
+	if !res.req.BypassStore {
+		if ent, ok := s.store.get(res.id); ok {
+			s.storeHits.Add(1)
+			s.rec.Count("serve.store.hits", 1)
+			resp := ent.resp
+			resp.Cached = true
+			if res.req.IncludeSchedule {
+				resp.Schedule = ToScheduleJSON(ent.sched)
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	// Cold or bypassing: join (or start) the single flight for this key.
+	f, leader := s.flights.join(res.key)
+	if leader {
+		s.bgFlight.Add(1)
+		go s.runFlight(f, res)
+	} else {
+		s.coalesced.Add(1)
+		s.rec.Count("serve.coalesced", 1)
+	}
+	defer s.flights.leave(f)
+
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// The client is gone (or its transport deadline fired); leaving
+		// drops our stake in the flight, and the last waiter out cancels
+		// the solve so abandoned work never populates the engine caches.
+		s.errs.Add(1)
+		s.rec.Count("serve.errors", 1)
+		writeAPIError(w, apiErrorf(http.StatusServiceUnavailable, CodeDeadline, "client disconnected: %v", r.Context().Err()))
+		return
+	}
+
+	if f.apiErr != nil {
+		if f.apiErr.Code == CodeQueueFull {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.opts.RetryAfter)))
+		}
+		writeAPIError(w, f.apiErr)
+		return
+	}
+	resp := f.resp
+	resp.Coalesced = !leader
+	if res.req.IncludeSchedule {
+		resp.Schedule = ToScheduleJSON(f.sched)
+	}
+	writeJSON(w, f.status, resp)
+}
+
+// runFlight executes one coalesced solve: admission, deadline, engine
+// plan, store. It publishes the outcome on f before closing f.done.
+func (s *Server) runFlight(f *flight, res *resolved) {
+	defer s.bgFlight.Add(-1)
+	defer close(f.done)
+	defer s.flights.remove(f)
+
+	// Re-check the store under the flight: a request can miss the store,
+	// then lose the race with a finishing duplicate flight and become a
+	// fresh leader for work that is already done. Serving the stored
+	// result here keeps "N duplicates, one engine call" airtight.
+	if !res.req.BypassStore {
+		if ent, ok := s.store.get(res.id); ok {
+			s.storeHits.Add(1)
+			s.rec.Count("serve.store.hits", 1)
+			f.resp = ent.resp
+			f.resp.Cached = true
+			f.sched = ent.sched
+			f.status = http.StatusOK
+			return
+		}
+	}
+
+	if err := s.adm.acquire(f.ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.rejections.Add(1)
+			s.rec.Count("serve.queue.rejections", 1)
+			f.apiErr = apiErrorf(http.StatusTooManyRequests, CodeQueueFull,
+				"admission queue full (%d solves running, %d queued); retry later",
+				s.opts.Concurrency, s.opts.QueueDepth)
+		} else {
+			f.apiErr = apiErrorf(http.StatusServiceUnavailable, CodeDeadline, "request abandoned while queued")
+		}
+		return
+	}
+	defer s.adm.release()
+
+	ctx := f.ctx
+	if res.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(f.ctx, res.timeout)
+		defer cancel()
+	}
+	sp := s.rec.StartSpan("serve.plan")
+	sp.SetStr("key", res.id)
+	opts := res.opts
+	opts.Obs = s.rec
+	result, err := s.eng.Plan(ctx, res.top, res.col, opts)
+	sp.End()
+	if err != nil {
+		if ctx.Err() != nil {
+			f.apiErr = apiErrorf(http.StatusGatewayTimeout, CodeDeadline,
+				"deadline expired before any candidate completed")
+		} else {
+			s.errs.Add(1)
+			s.rec.Count("serve.errors", 1)
+			f.apiErr = apiErrorf(http.StatusInternalServerError, CodeInternal, "synthesis failed: %v", err)
+		}
+		return
+	}
+
+	col := res.col
+	bus := metrics.BusBandwidth(col.Kind, col.NumGPUs, metrics.DataBytes(col), result.Time)
+	resp := SynthesizeResponse{
+		ID:             res.id,
+		Topology:       strings.ToLower(res.req.Topology),
+		Collective:     col.Kind.String(),
+		NumGPUs:        col.NumGPUs,
+		SizeBytes:      metrics.DataBytes(col),
+		PredictedTimeS: result.Time,
+		BusBWGBps:      bus / 1e9,
+		Transfers:      len(result.Schedule.Transfers),
+		SolverCalls:    result.Stats.SolverCalls,
+		Partial:        result.Partial,
+	}
+	f.sched = result.Schedule
+	f.status = http.StatusOK
+	if result.Partial {
+		// Anytime result: valid and complete, but not the full pipeline's
+		// answer — surfaced as 206 and kept out of the store.
+		f.status = http.StatusPartialContent
+		resp.ID = ""
+		s.partials.Add(1)
+		s.rec.Count("serve.partial", 1)
+	} else {
+		evicted := s.store.put(res.id, resp, result.Schedule)
+		if evicted > 0 {
+			s.storeEvictions.Add(int64(evicted))
+			s.rec.Count("serve.store.evictions", float64(evicted))
+		}
+	}
+	f.resp = resp
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	sp := s.rec.StartSpan("http.schedule")
+	defer sp.End()
+	id := r.PathValue("id")
+	ent, ok := s.store.get(id)
+	if !ok {
+		writeAPIError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "no stored schedule %q", id))
+		return
+	}
+	resp := ent.resp
+	resp.Cached = true
+	resp.Schedule = ToScheduleJSON(ent.sched)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.rec.WriteChromeTrace(w); err != nil {
+		// Headers are already out; nothing useful left to send.
+		return
+	}
+}
+
+// Drain gracefully stops the server: new synthesis requests are refused
+// with 503 (healthz flips to draining so load balancers stop routing),
+// and Drain blocks until every accepted request and solve goroutine has
+// finished. If ctx expires first, in-flight solves are cancelled — the
+// engine's anytime semantics turn each into a prompt Partial (or
+// deadline) response — and Drain still waits for the handlers to flush.
+// Finally the stats are flushed to the recorder. Safe to call more than
+// once.
+func (s *Server) Drain(ctx context.Context) {
+	s.draining.Store(true)
+	s.rec.Gauge("serve.draining", 1)
+
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	cancelled := false
+	for s.inFlight.Load() > 0 || s.bgFlight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			if !cancelled {
+				cancelled = true
+				s.flights.cancelAll()
+			}
+		case <-tick.C:
+		}
+	}
+
+	// Flush: record the final counter values so an exported trace or
+	// summary taken after shutdown reflects the whole run.
+	st := s.Stats().Server
+	s.rec.Gauge("serve.final.requests", float64(st.Requests))
+	s.rec.Gauge("serve.final.coalesced", float64(st.Coalesced))
+	s.rec.Gauge("serve.final.store_hits", float64(st.StoreHits))
+	s.rec.Gauge("serve.final.queue_rejections", float64(st.QueueRejections))
+	s.rec.Gauge("serve.final.partial", float64(st.Partial))
+}
+
+// DrainOnSignal wires Drain to process signals (typically SIGTERM): on
+// the first signal the server drains within drainTimeout and then shuts
+// down hs (when non-nil). The returned channel closes when shutdown is
+// complete — main() blocks on it.
+func (s *Server) DrainOnSignal(hs *http.Server, drainTimeout time.Duration, sigs ...os.Signal) <-chan struct{} {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ch
+		signal.Stop(ch)
+		ctx := context.Background()
+		if drainTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, drainTimeout)
+			defer cancel()
+		}
+		s.Drain(ctx)
+		if hs != nil {
+			// Handlers are done; this closes listeners and idle conns.
+			_ = hs.Shutdown(context.Background())
+		}
+	}()
+	return done
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

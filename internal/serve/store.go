@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"syccl/internal/schedule"
+)
+
+// storeEntry is one served result retained for GET /v1/schedule/{id}.
+type storeEntry struct {
+	id    string
+	resp  SynthesizeResponse // base response (no per-request flags)
+	sched *schedule.Schedule
+	elem  *list.Element
+}
+
+// scheduleStore is the LRU of completed results, keyed by schedule id.
+// Partial results are never stored: a warm hit must always be the full
+// pipeline's answer, not whatever a tight deadline happened to salvage.
+type scheduleStore struct {
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+	lru     *list.List // front = most recently used
+	cap     int
+}
+
+func newScheduleStore(cap int) *scheduleStore {
+	if cap <= 0 {
+		cap = DefaultStoreEntries
+	}
+	return &scheduleStore{entries: make(map[string]*storeEntry), lru: list.New(), cap: cap}
+}
+
+func (st *scheduleStore) get(id string) (*storeEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ent, ok := st.entries[id]
+	if !ok {
+		return nil, false
+	}
+	st.lru.MoveToFront(ent.elem)
+	return ent, true
+}
+
+// put inserts a result; the first write for an id wins so stored results
+// stay stable under concurrent duplicate solves. It reports how many
+// entries were evicted to make room.
+func (st *scheduleStore) put(id string, resp SynthesizeResponse, sched *schedule.Schedule) (evicted int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ent, ok := st.entries[id]; ok {
+		st.lru.MoveToFront(ent.elem)
+		return 0
+	}
+	ent := &storeEntry{id: id, resp: resp, sched: sched.Clone()}
+	ent.elem = st.lru.PushFront(ent)
+	st.entries[id] = ent
+	for st.lru.Len() > st.cap {
+		back := st.lru.Back()
+		victim := back.Value.(*storeEntry)
+		st.lru.Remove(back)
+		delete(st.entries, victim.id)
+		evicted++
+	}
+	return evicted
+}
+
+func (st *scheduleStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lru.Len()
+}

@@ -25,17 +25,23 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core/engine/milp/sim/verify shard) =="
-go test -race ./internal/core/ ./internal/engine/ ./internal/milp/ ./internal/sim/ ./internal/verify/
+echo "== go test -race (core/engine/milp/serve/sim/verify shard) =="
+go test -race ./internal/core/ ./internal/engine/ ./internal/milp/ ./internal/serve/ ./internal/sim/ ./internal/verify/
 
 echo "== fuzz smoke ($FUZZTIME per target) =="
 go test ./internal/verify/ -run='^$' -fuzz='^FuzzValidate$' -fuzztime="$FUZZTIME"
 go test ./internal/verify/ -run='^$' -fuzz='^FuzzSimParity$' -fuzztime="$FUZZTIME"
+go test ./internal/serve/ -run='^$' -fuzz='^FuzzDecodeRequest$' -fuzztime="$FUZZTIME"
 
 echo "== bench smoke =="
 # One short sample per solver benchmark (writes to a temp file, not
 # BENCH_solver.json): catches benchmark bit-rot without CI-grade noise
 # overwriting the recorded numbers.
 scripts/bench.sh -quick
+
+echo "== loadtest smoke =="
+# A small in-process serving run (temp file, not BENCH_serve.json):
+# exercises the daemon + load generator end to end.
+scripts/loadtest.sh -quick
 
 echo "CI checks passed."
