@@ -74,6 +74,9 @@ func main() {
 	fmt.Printf("cold p50 %.0fus p99 %.0fus | warm p50 %.0fus p99 %.0fus | warm speedup %.1fx | hit rate %.1f%% | errors %d\n",
 		report.Cold.P50us, report.Cold.P99us, report.Warm.P50us, report.Warm.P99us,
 		report.WarmSpeedup, 100*report.CoalescingHitRate, report.Errors)
+	fmt.Printf("hist (bucket-estimated): cold p50/p90/p99/p999 %.0f/%.0f/%.0f/%.0fus | warm p50/p90/p99/p999 %.0f/%.0f/%.0f/%.0fus\n",
+		report.Cold.Hist.P50us, report.Cold.Hist.P90us, report.Cold.Hist.P99us, report.Cold.Hist.P999us,
+		report.Warm.Hist.P50us, report.Warm.Hist.P90us, report.Warm.Hist.P99us, report.Warm.Hist.P999us)
 	if *out != "" {
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			fail(err)

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	syccl-serve -addr 127.0.0.1:8080
+//	syccl-serve -addr 127.0.0.1:8080 -admin 127.0.0.1:6060 -access-log -
 //	curl -s localhost:8080/v1/synthesize -d '{"topology":"dgx4","collective":"allgather","size":"1M"}'
 //
 // Endpoints: POST /v1/synthesize, GET /v1/schedule/{id}, GET /healthz,
-// GET /statsz, GET /tracez.
+// GET /statsz, GET /tracez, GET /metrics (Prometheus exposition), and
+// GET /debug/requests[/{id}] (flight recorder). The -admin listener
+// additionally serves net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"syscall"
@@ -37,6 +40,20 @@ func main() {
 		fail(err)
 	}
 
+	var accessLog io.Writer
+	switch opts.AccessLog {
+	case "":
+	case "-":
+		accessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(opts.AccessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(fmt.Errorf("access log: %w", err))
+		}
+		defer f.Close()
+		accessLog = f
+	}
+
 	s := serve.New(serve.Options{
 		Concurrency:    opts.Concurrency,
 		QueueDepth:     opts.QueueDepth,
@@ -45,9 +62,22 @@ func main() {
 		DefaultWorkers: opts.Workers,
 		RetryAfter:     opts.RetryAfter,
 		MaxBodyBytes:   opts.MaxBody,
+		AccessLog:      accessLog,
 	})
 	hs := &http.Server{Addr: opts.Addr, Handler: s}
 	done := s.DrainOnSignal(hs, opts.DrainTimeout, syscall.SIGTERM, syscall.SIGINT)
+
+	if opts.AdminAddr != "" {
+		admin := &http.Server{Addr: opts.AdminAddr, Handler: s.AdminHandler()}
+		go func() {
+			// The admin listener lives and dies with the process; drain
+			// closes the public listener only.
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "syccl-serve: admin listener:", err)
+			}
+		}()
+		fmt.Printf("syccl-serve: admin (pprof, /metrics) on %s\n", opts.AdminAddr)
+	}
 
 	fmt.Printf("syccl-serve: listening on %s (concurrency=%d queue=%d store=%d)\n",
 		opts.Addr, opts.Concurrency, opts.QueueDepth, opts.StoreEntries)

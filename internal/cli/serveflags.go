@@ -18,6 +18,12 @@ type ServeFlags struct {
 	RetryAfter   time.Duration
 	MaxBody      int64
 	DrainTimeout time.Duration
+	// AdminAddr, when set, serves pprof + /metrics + /debug/requests on
+	// a second (typically private) listener.
+	AdminAddr string
+	// AccessLog is where structured access-log lines go: "" disables,
+	// "-" means stderr, anything else is appended to as a file.
+	AccessLog string
 }
 
 // NewServeFlags registers syccl-serve's flags on fs and returns the
@@ -33,6 +39,8 @@ func NewServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.DurationVar(&f.RetryAfter, "retry-after", time.Second, "Retry-After hint returned with 429s")
 	fs.Int64Var(&f.MaxBody, "max-body", 1<<20, "request body size limit in bytes")
 	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 30*time.Second, "grace period on SIGTERM/SIGINT before in-flight solves are cancelled into anytime results")
+	fs.StringVar(&f.AdminAddr, "admin", "", "admin listener address for pprof, /metrics, and /debug/requests (empty = disabled)")
+	fs.StringVar(&f.AccessLog, "access-log", "", `structured access log destination: "-" for stderr, a path to append to, empty to disable`)
 	return f
 }
 
@@ -59,6 +67,9 @@ func (f *ServeFlags) Validate() error {
 	}
 	if f.Workers < 0 || f.Workers > 4096 {
 		return fmt.Errorf("-workers must be in [0, 4096]")
+	}
+	if f.AdminAddr != "" && f.AdminAddr == f.Addr {
+		return fmt.Errorf("-admin must differ from -addr (pprof must not share the public listener)")
 	}
 	return nil
 }

@@ -45,6 +45,8 @@ func TestServeFlagsParse(t *testing.T) {
 		"-retry-after", "5s",
 		"-max-body", "4096",
 		"-drain-timeout", "1m",
+		"-admin", "127.0.0.1:6060",
+		"-access-log", "-",
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +59,9 @@ func TestServeFlagsParse(t *testing.T) {
 	}
 	if f.MaxBody != 4096 || f.DrainTimeout != time.Minute {
 		t.Fatalf("parse mismatch: %+v", f)
+	}
+	if f.AdminAddr != "127.0.0.1:6060" || f.AccessLog != "-" {
+		t.Fatalf("telemetry flags mismatch: %+v", f)
 	}
 }
 
@@ -72,6 +77,7 @@ func TestServeFlagsValidate(t *testing.T) {
 		{"-max-body", "0"},
 		{"-workers", "-1"},
 		{"-workers", "5000"},
+		{"-addr", ":8080", "-admin", ":8080"},
 	}
 	for _, args := range bad {
 		if _, err := parseServe(t, args...); err == nil {

@@ -42,6 +42,13 @@ func SynthesizeContext(ctx context.Context, top *topology.Topology, col *collect
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Request-scoped fan-in: a caller that attached a recorder to the
+	// context (the serving layer's per-flight recorder) gets the whole
+	// pipeline's span tree on it without plumbing an explicit option. An
+	// explicit opts.Obs always wins.
+	if opts.Obs == nil {
+		opts.Obs = obs.FromContext(ctx)
+	}
 	opts = opts.withDefaults()
 	if err := col.Validate(); err != nil {
 		return nil, err
@@ -54,6 +61,9 @@ func SynthesizeContext(ctx context.Context, top *topology.Topology, col *collect
 	root.SetStr("topology", top.Name)
 	root.SetStr("collective", col.Kind.String())
 	root.SetInt("gpus", int64(top.NumGPUs()))
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		root.SetStr("request", id)
+	}
 	defer root.End()
 	seedCounters(opts.Obs)
 

@@ -53,6 +53,12 @@ type Options struct {
 	// engine.sketch.{hits,misses}. Nil disables recording; Stats() is
 	// always available.
 	Obs *obs.Recorder
+	// Metrics optionally receives labeled production metrics
+	// (syccl_engine_plans_total{outcome},
+	// syccl_engine_cache_lookups_total{cache,result},
+	// syccl_engine_cache_evictions_total{cache}) for Prometheus
+	// exposition. Nil disables them at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +116,13 @@ type Engine struct {
 	evictions    atomic.Int64
 	sketchHits   atomic.Int64
 	sketchMisses atomic.Int64
+
+	// Labeled metric children, resolved once at construction so the cache
+	// hot paths pay a single nil-safe atomic add per event.
+	mPlanOK, mPlanPartial, mPlanError  *obs.Counter
+	mSolveExact, mSolveIso, mSolveMiss *obs.Counter
+	mSketchHit, mSketchMiss            *obs.Counter
+	mEvictSolve, mEvictSketch          *obs.Counter
 }
 
 // New builds an Engine with the given options.
@@ -132,6 +145,24 @@ func New(opts Options) *Engine {
 	for i := range e.shards {
 		e.shards[i].init(perShard)
 	}
+	// A nil registry hands out nil vectors and nil children, so every
+	// metric update below stays a no-op when telemetry is off.
+	plans := opts.Metrics.Counter("syccl_engine_plans_total",
+		"Engine plan calls by outcome.", "outcome")
+	e.mPlanOK = plans.With("ok")
+	e.mPlanPartial = plans.With("partial")
+	e.mPlanError = plans.With("error")
+	lookups := opts.Metrics.Counter("syccl_engine_cache_lookups_total",
+		"Cross-request cache lookups by cache and result.", "cache", "result")
+	e.mSolveExact = lookups.With("solve", "exact")
+	e.mSolveIso = lookups.With("solve", "iso")
+	e.mSolveMiss = lookups.With("solve", "miss")
+	e.mSketchHit = lookups.With("sketch", "hit")
+	e.mSketchMiss = lookups.With("sketch", "miss")
+	evict := opts.Metrics.Counter("syccl_engine_cache_evictions_total",
+		"LRU evictions by cache.", "cache")
+	e.mEvictSolve = evict.With("solve")
+	e.mEvictSketch = evict.With("sketch")
 	return e
 }
 
@@ -159,6 +190,14 @@ func (e *Engine) Plan(ctx context.Context, top *topology.Topology, col *collecti
 	if (err != nil && ctx.Err() != nil) || (res != nil && res.Partial) {
 		e.cancelled.Add(1)
 		e.count("engine.cancelled", 1)
+	}
+	switch {
+	case err != nil:
+		e.mPlanError.Inc()
+	case res != nil && res.Partial:
+		e.mPlanPartial.Inc()
+	default:
+		e.mPlanOK.Inc()
 	}
 	return res, err
 }
@@ -233,6 +272,7 @@ func (a solveCacheAdapter) Lookup(d *solve.Demand, sig string) *solve.SubSchedul
 		e.solveHits.Add(1)
 		e.exactHits.Add(1)
 		e.count("engine.cache.hits", 1)
+		e.mSolveExact.Inc()
 		return cloneSub(ent.sub)
 	}
 	for _, ent := range s.byIso[iso] {
@@ -241,12 +281,14 @@ func (a solveCacheAdapter) Lookup(d *solve.Demand, sig string) *solve.SubSchedul
 			e.solveHits.Add(1)
 			e.isoHits.Add(1)
 			e.count("engine.cache.hits", 1)
+			e.mSolveIso.Inc()
 			// MapSchedule allocates a fresh sub-schedule; no extra clone.
 			return isomorph.MapSchedule(ent.sub, *m)
 		}
 	}
 	e.solveMisses.Add(1)
 	e.count("engine.cache.misses", 1)
+	e.mSolveMiss.Inc()
 	return nil
 }
 
@@ -291,6 +333,7 @@ func (a solveCacheAdapter) Store(d *solve.Demand, sig string, sub *solve.SubSche
 		}
 		e.evictions.Add(1)
 		e.count("engine.cache.evictions", 1)
+		e.mEvictSolve.Inc()
 	}
 }
 
@@ -344,11 +387,13 @@ func (a sketchCacheAdapter) Lookup(key string) ([]*sketch.Sketch, bool) {
 	if !ok {
 		e.sketchMisses.Add(1)
 		e.count("engine.sketch.misses", 1)
+		e.mSketchMiss.Inc()
 		return nil, false
 	}
 	c.lru.MoveToFront(ent.elem)
 	e.sketchHits.Add(1)
 	e.count("engine.sketch.hits", 1)
+	e.mSketchHit.Inc()
 	return cloneSketches(ent.sketches), true
 }
 
@@ -371,6 +416,7 @@ func (a sketchCacheAdapter) Store(key string, sketches []*sketch.Sketch) {
 		delete(c.entries, victim.key)
 		e.evictions.Add(1)
 		e.count("engine.cache.evictions", 1)
+		e.mEvictSketch.Inc()
 	}
 }
 

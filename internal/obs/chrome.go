@@ -85,10 +85,17 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		}
 		meta = append(meta, metaEvent("thread_name", pidPipeline, int(l), name))
 	}
+	// A parent reference is only emitted when the parent span actually
+	// appears in this export: retention trimming (or a parent still in
+	// flight at export time) must not leave dangling names in the trace.
+	exported := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		exported[s.Name] = true
+	}
 	for _, s := range spans {
 		dur := micros(s.End - s.Start)
 		args := attrArgs(s.Attrs)
-		if s.Parent != "" {
+		if s.Parent != "" && exported[s.Parent] {
 			if args == nil {
 				args = map[string]interface{}{}
 			}

@@ -1,0 +1,52 @@
+package obs
+
+// Request-scoped observability plumbing: the serving layer assigns every
+// request an ID and a per-flight recorder, and threads both through
+// context.Context so the engine and core pipeline annotate the request's
+// own span tree without any API change on the synthesis path. A context
+// without values behaves exactly like a nil recorder / empty ID.
+
+import "context"
+
+type ctxKey int
+
+const (
+	ctxKeyRecorder ctxKey = iota
+	ctxKeyRequestID
+)
+
+// NewContext attaches a recorder to the context. Attaching nil returns
+// ctx unchanged.
+func NewContext(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRecorder, r)
+}
+
+// FromContext returns the recorder attached by NewContext, or nil (a
+// valid no-op recorder) when none is attached.
+func FromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKeyRecorder).(*Recorder)
+	return r
+}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestIDFrom returns the request ID attached by WithRequestID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}

@@ -104,11 +104,21 @@ type Recorder struct {
 	extras     []Complete
 	maxSpans   int // 0 = unbounded
 	maxSamples int // 0 = unbounded
+	// open refcounts the names of in-flight (started, not yet ended)
+	// spans. Retention trimming consults it so a kept child whose parent
+	// has merely not finished yet keeps its parent reference, while a
+	// reference to a genuinely dropped parent is cleared instead of
+	// dangling in exported traces.
+	open map[string]int
 }
 
 // NewRecorder returns an active recorder whose clock starts now.
 func NewRecorder() *Recorder {
-	return &Recorder{epoch: time.Now(), counters: make(map[string]float64)}
+	return &Recorder{
+		epoch:    time.Now(),
+		counters: make(map[string]float64),
+		open:     make(map[string]int),
+	}
 }
 
 // Active reports whether the recorder actually records (non-nil).
@@ -135,25 +145,38 @@ func (r *Recorder) SetRetention(maxSpans, maxSamples int) {
 		maxSamples = 0
 	}
 	r.maxSpans, r.maxSamples = maxSpans, maxSamples
-	r.spans = trimSpans(r.spans, r.maxSpans)
+	r.trimSpansLocked()
 	r.samples = trimSamples(r.samples, r.maxSamples)
 }
 
-// trimSpans drops the oldest half once the cap is exceeded, copying the
-// tail down so the backing array does not pin dropped records.
-func trimSpans(s []SpanRecord, max int) []SpanRecord {
-	if max <= 0 || len(s) <= max {
-		return s
+// trimSpansLocked drops the oldest half once the cap is exceeded, copying
+// the tail down so the backing array does not pin dropped records. A kept
+// span whose parent was dropped (and is not still in flight) has its
+// Parent reference cleared — it is promoted to a root — so trimming never
+// leaves dangling parent references in retained history or exported
+// traces. Callers hold r.mu.
+func (r *Recorder) trimSpansLocked() {
+	if r.maxSpans <= 0 || len(r.spans) <= r.maxSpans {
+		return
 	}
-	keep := max / 2
+	keep := r.maxSpans / 2
 	if keep < 1 {
 		keep = 1
 	}
-	n := copy(s, s[len(s)-keep:])
-	for i := n; i < len(s); i++ {
-		s[i] = SpanRecord{}
+	n := copy(r.spans, r.spans[len(r.spans)-keep:])
+	for i := n; i < len(r.spans); i++ {
+		r.spans[i] = SpanRecord{}
 	}
-	return s[:n]
+	r.spans = r.spans[:n]
+	kept := make(map[string]bool, n)
+	for i := range r.spans {
+		kept[r.spans[i].Name] = true
+	}
+	for i := range r.spans {
+		if p := r.spans[i].Parent; p != "" && !kept[p] && r.open[p] == 0 {
+			r.spans[i].Parent = ""
+		}
+	}
 }
 
 func trimSamples(s []Sample, max int) []Sample {
@@ -256,7 +279,18 @@ func (r *Recorder) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
+	r.openSpan(name)
 	return &Span{rec: r, name: name, start: r.now()}
+}
+
+// openSpan registers an in-flight span name for the retention trimmer.
+func (r *Recorder) openSpan(name string) {
+	r.mu.Lock()
+	if r.open == nil {
+		r.open = make(map[string]int)
+	}
+	r.open[name]++
+	r.mu.Unlock()
 }
 
 // Span is an in-flight interval. Obtain one from Recorder.StartSpan or
@@ -276,6 +310,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
+	s.rec.openSpan(name)
 	return &Span{rec: s.rec, name: name, parent: s.name, lane: s.lane, start: s.rec.now()}
 }
 
@@ -287,6 +322,7 @@ func (s *Span) ChildLane(name string) *Span {
 		return nil
 	}
 	lane := atomic.AddInt32(&s.rec.nextLane, 1)
+	s.rec.openSpan(name)
 	return &Span{rec: s.rec, name: name, parent: s.name, lane: lane, start: s.rec.now()}
 }
 
@@ -334,7 +370,91 @@ func (s *Span) End() {
 		rec.End = rec.Start
 	}
 	r.mu.Lock()
+	if r.open[s.name] > 1 {
+		r.open[s.name]--
+	} else {
+		delete(r.open, s.name)
+	}
 	r.spans = append(r.spans, rec)
-	r.spans = trimSpans(r.spans, r.maxSpans)
+	r.trimSpansLocked()
 	r.mu.Unlock()
+}
+
+// SpansRebased returns all finished spans with times re-expressed
+// relative to the given epoch — the serve flight recorder uses it to
+// align a flight's span tree with the owning request's start time.
+func (r *Recorder) SpansRebased(epoch time.Time) []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	shift := r.epoch.Sub(epoch)
+	out := r.Spans()
+	for i := range out {
+		out[i].Start += shift
+		out[i].End += shift
+	}
+	return out
+}
+
+// Merge imports another recorder's finished history into r: spans and
+// samples are re-based onto r's clock, counter totals are added, and
+// injected events are appended. The serving layer records each request's
+// synthesis on a short-lived per-flight recorder (so every request owns
+// an isolated span tree) and merges it into the daemon-lifetime recorder
+// afterwards, keeping GET /tracez a whole-process view.
+//
+// Merged spans are assigned fresh lanes so concurrent flights render on
+// distinct rows instead of interleaving. Every merged series is treated
+// as cumulative: sample values are offset by r's current total for that
+// series, which keeps counter timelines monotone (per-flight recorders
+// carry only pipeline counters, never gauges).
+func (r *Recorder) Merge(from *Recorder) {
+	if r == nil || from == nil || r == from {
+		return
+	}
+	shift := from.epoch.Sub(r.epoch)
+	from.mu.Lock()
+	spans := append([]SpanRecord(nil), from.spans...)
+	samples := append([]Sample(nil), from.samples...)
+	counters := make(map[string]float64, len(from.counters))
+	for k, v := range from.counters {
+		counters[k] = v
+	}
+	extras := append([]Complete(nil), from.extras...)
+	from.mu.Unlock()
+
+	var maxLane int32 = -1
+	for i := range spans {
+		if spans[i].Lane > maxLane {
+			maxLane = spans[i].Lane
+		}
+	}
+	var laneBase int32
+	if maxLane >= 0 {
+		laneBase = atomic.AddInt32(&r.nextLane, maxLane+1) - maxLane
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	base := make(map[string]float64, len(counters))
+	for k := range counters {
+		base[k] = r.counters[k]
+	}
+	for _, s := range spans {
+		s.Start += shift
+		s.End += shift
+		s.Lane += laneBase
+		r.spans = append(r.spans, s)
+	}
+	r.trimSpansLocked()
+	for _, sm := range samples {
+		sm.At += shift
+		sm.Value += base[sm.Name]
+		r.samples = append(r.samples, sm)
+	}
+	r.samples = trimSamples(r.samples, r.maxSamples)
+	for k, v := range counters {
+		r.counters[k] += v
+	}
+	r.extras = append(r.extras, extras...)
 }

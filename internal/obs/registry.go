@@ -1,0 +1,517 @@
+package obs
+
+// Labeled production metrics: a concurrency-safe registry of counters,
+// gauges, and fixed-bucket histograms keyed by small label sets
+// (collective, topology, cache tier, outcome), exported in Prometheus
+// text exposition format for GET /metrics on the serving daemon.
+//
+// The design mirrors the recorder's nil-safety contract: a nil *Registry
+// (and the nil vectors and children it hands out) is a valid no-op sink,
+// so instrumented paths never branch on whether telemetry is enabled.
+// Hot paths are allocation-free after the first observation of a label
+// set: children are resolved through a read-locked map and every update
+// is a single atomic CAS or add, so concurrent request handlers never
+// serialize on a metrics mutex.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind discriminates registered metric families.
+type MetricKind uint8
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// LatencyBuckets are the default request-latency histogram bounds in
+// seconds: 10µs to 10s, covering the warm store-hit path (~hundreds of
+// microseconds) through cold multi-second synthesis on large topologies.
+var LatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Registry is a set of named metric families. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is a valid no-op:
+// it returns nil vectors whose children silently discard observations.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family is one registered metric: a name, kind, label schema, and the
+// children (one per observed label-value tuple).
+type family struct {
+	name    string
+	help    string
+	kind    MetricKind
+	labels  []string
+	buckets []float64 // histogram upper bounds, strictly increasing
+
+	mu       sync.RWMutex
+	children map[string]child // key = label values joined with \xff
+}
+
+type child interface {
+	// expose appends the exposition lines for this child.
+	expose(w io.Writer, fam *family, labelKey string)
+}
+
+// FamilyInfo describes one registered family (for lint tests and
+// introspection).
+type FamilyInfo struct {
+	Name   string
+	Help   string
+	Kind   MetricKind
+	Labels []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Families lists the registered families sorted by name.
+func (g *Registry) Families() []FamilyInfo {
+	if g == nil {
+		return nil
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]FamilyInfo, 0, len(g.families))
+	for _, f := range g.families {
+		out = append(out, FamilyInfo{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   f.kind,
+			Labels: append([]string(nil), f.labels...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// register returns the family, creating it on first use. Re-registering
+// an existing name with a different kind or label schema panics: that is
+// a programming error, caught at daemon construction, not at scrape time.
+func (g *Registry) register(name, help string, kind MetricKind, labels []string, buckets []float64) *family {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind or label schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]child),
+	}
+	g.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or fetches) a counter family with the given label
+// keys. Counter names end in _total by convention (enforced by the
+// serving layer's lint test).
+func (g *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	if g == nil {
+		return nil
+	}
+	return &CounterVec{fam: g.register(name, help, KindCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (g *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	if g == nil {
+		return nil
+	}
+	return &GaugeVec{fam: g.register(name, help, KindGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram family.
+// Buckets are upper bounds in increasing order; an implicit +Inf bucket
+// is always appended. Nil buckets default to LatencyBuckets.
+func (g *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if g == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing", name))
+		}
+	}
+	return &HistogramVec{fam: g.register(name, help, KindHistogram, labels, buckets)}
+}
+
+// resolve returns the child for the label values, creating it on first
+// use. The read-locked fast path makes repeat observations on a warm
+// label set lock-free with respect to other label sets.
+func (f *family) resolve(values []string, make func() child) child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q got %d label values, schema has %d", f.name, len(values), len(f.labels)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = make()
+	f.children[key] = c
+	return c
+}
+
+// --- counter ---
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ fam *family }
+
+// Counter is one monotonically increasing series. All methods are
+// nil-safe and atomic.
+type Counter struct{ bits atomic.Uint64 }
+
+// With resolves the child counter for the label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	c := v.fam.resolve(values, func() child { return &Counter{} })
+	return c.(*Counter)
+}
+
+// Add increments the counter by v (negative deltas are ignored:
+// counters are monotone by contract).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+func (c *Counter) expose(w io.Writer, fam *family, labelKey string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(fam.labels, labelKey, "", 0), formatValue(c.Value()))
+}
+
+// --- gauge ---
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ fam *family }
+
+// Gauge is one instantaneous series. All methods are nil-safe and atomic.
+type Gauge struct{ bits atomic.Uint64 }
+
+// With resolves the child gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	c := v.fam.resolve(values, func() child { return &Gauge{} })
+	return c.(*Gauge)
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by v (either sign).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, v)
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) expose(w io.Writer, fam *family, labelKey string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(fam.labels, labelKey, "", 0), formatValue(g.Value()))
+}
+
+// --- histogram ---
+
+// HistogramVec is a labeled fixed-bucket histogram family.
+type HistogramVec struct{ fam *family }
+
+// Histogram is one latency/size distribution: per-bucket counts plus a
+// total count and sum, all updated atomically. A snapshot taken during
+// concurrent observation may be mid-update by at most one observation
+// per bucket — acceptable for monitoring, and never torn within a word.
+type Histogram struct {
+	upper   []float64 // finite upper bounds
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a standalone (unregistered) histogram — the load
+// generator uses one to summarize latencies without a registry. Nil or
+// empty buckets default to LatencyBuckets.
+func NewHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	return &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)),
+	}
+}
+
+// With resolves the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	c := v.fam.resolve(values, func() child { return NewHistogram(v.fam.buckets) })
+	return c.(*Histogram)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bucket whose upper bound holds v.
+	i := sort.SearchFloat64s(h.upper, v)
+	if i < len(h.upper) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count is the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum is the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) from the bucket counts
+// by linear interpolation inside the landing bucket, the same estimate
+// Prometheus's histogram_quantile computes server-side. Observations in
+// the +Inf bucket clamp to the largest finite bound. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum float64
+	for i := range h.upper {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			hi := h.upper[i]
+			return lo + (hi-lo)*((rank-cum)/n)
+		}
+		cum += n
+	}
+	// Landed in +Inf: the histogram cannot resolve past its last bound.
+	return h.upper[len(h.upper)-1]
+}
+
+func (h *Histogram) expose(w io.Writer, fam *family, labelKey string) {
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+			renderLabels(fam.labels, labelKey, "le", ub), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+		renderLabels(fam.labels, labelKey, "le", math.Inf(1)), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(fam.labels, labelKey, "", 0), formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(fam.labels, labelKey, "", 0), h.count.Load())
+}
+
+// --- exposition ---
+
+// WriteProm writes every family in Prometheus text exposition format
+// (version 0.0.4), families and children in sorted order so the output
+// is stable for golden tests and scrape diffing.
+func (g *Registry) WriteProm(w io.Writer) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.RLock()
+	fams := make([]*family, 0, len(g.families))
+	for _, f := range g.families {
+		fams = append(fams, f)
+	}
+	g.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			f.children[k].expose(&b, f, k)
+		}
+		f.mu.RUnlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderLabels formats {k1="v1",...} from the family's label keys and the
+// child's joined values, appending an le bound when leKey is non-empty.
+// Returns "" for a label-less child with no le.
+func renderLabels(keys []string, joinedValues, leKey string, le float64) string {
+	var parts []string
+	if len(keys) > 0 {
+		values := strings.Split(joinedValues, "\xff")
+		for i, k := range keys {
+			v := ""
+			if i < len(values) {
+				v = values[i]
+			}
+			parts = append(parts, k+`="`+escapeLabel(v)+`"`)
+		}
+	}
+	if leKey != "" {
+		parts = append(parts, leKey+`="`+formatValue(le)+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value: shortest round-trip float, with
+// +Inf spelled the way the exposition format requires.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}

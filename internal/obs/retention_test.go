@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"testing"
 )
@@ -69,4 +71,83 @@ func TestRetentionAppliedOnSet(t *testing.T) {
 	// Nil recorder: SetRetention must stay a no-op.
 	var nilRec *Recorder
 	nilRec.SetRetention(1, 1)
+}
+
+// TestRetentionNeverOrphansChildren is the drop-boundary regression test:
+// when trimming drops the oldest half of the span history, a kept child
+// whose parent record was dropped must not keep a dangling parent
+// reference — it is promoted to a root — while a kept child whose parent
+// is merely still in flight keeps the reference (the parent will be
+// recorded when it ends).
+func TestRetentionNeverOrphansChildren(t *testing.T) {
+	r := NewRecorder()
+	r.SetRetention(8, 0)
+
+	// A parent that ends *before* its long-running child: the parent's
+	// record is old, the child's is new, so trimming can separate them.
+	early := r.StartSpan("early-parent")
+	straggler := early.Child("straggler")
+	early.End()
+
+	// A parent still in flight while its children finish.
+	live := r.StartSpan("live-parent")
+
+	// Burst far past the cap so "early-parent" is certainly dropped.
+	for i := 0; i < 64; i++ {
+		c := live.Child(fmt.Sprintf("burst%02d", i))
+		c.End()
+	}
+	straggler.End() // its parent record is long gone
+
+	// Force one more trim past the cap with the straggler inside the
+	// kept window.
+	for i := 0; i < 3; i++ {
+		live.Child(fmt.Sprintf("tail%d", i)).End()
+	}
+
+	spans := r.Spans()
+	names := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	if names["early-parent"] {
+		t.Fatal("test setup broken: early-parent survived trimming")
+	}
+	for _, s := range spans {
+		if s.Parent == "" {
+			continue
+		}
+		if s.Parent == "live-parent" {
+			continue // still in flight: reference stays valid
+		}
+		if !names[s.Parent] {
+			t.Fatalf("span %q orphaned: parent %q neither retained nor in flight", s.Name, s.Parent)
+		}
+	}
+
+	// The in-flight parent's reference must survive trimming, and the
+	// Chrome export must only emit parent args for spans present in it.
+	live.End()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[string]bool)
+	for _, ev := range trace.TraceEvents {
+		present[ev.Name] = true
+	}
+	for _, ev := range trace.TraceEvents {
+		if p, ok := ev.Args["parent"].(string); ok && !present[p] {
+			t.Fatalf("exported span %q references parent %q absent from the trace", ev.Name, p)
+		}
+	}
 }

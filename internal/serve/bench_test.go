@@ -77,4 +77,16 @@ func TestPercentile(t *testing.T) {
 	if st.Count != 4 || st.MaxUS != 4 || st.MeanUS != 2.5 {
 		t.Fatalf("summarize off: %+v", st)
 	}
+	// The bucket-estimated percentiles ride along: same observations,
+	// ordered tails, microsecond scale.
+	if st.Hist.Count != 4 {
+		t.Fatalf("hist count %d, want 4", st.Hist.Count)
+	}
+	if st.Hist.P50us <= 0 || st.Hist.P50us > st.Hist.P90us ||
+		st.Hist.P90us > st.Hist.P99us || st.Hist.P99us > st.Hist.P999us {
+		t.Fatalf("hist percentiles not monotone: %+v", st.Hist)
+	}
+	if st.Hist.P999us > 10.01 {
+		t.Fatalf("hist p999 %.2fus implausible for 1-4us inputs (first bucket is 10us)", st.Hist.P999us)
+	}
 }

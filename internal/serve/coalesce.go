@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"sync"
+	"time"
 
+	"syccl/internal/obs"
 	"syccl/internal/schedule"
 )
 
@@ -23,11 +25,24 @@ type flight struct {
 	// Guarded by the owning group's mutex.
 	waiters int
 
+	// Telemetry identity, set by the leader's handler before the solve
+	// goroutine starts: the flight-private recorder that captures this
+	// solve's span tree, and the leader's request id.
+	rec   *obs.Recorder
+	reqID string
+
 	// Outcome, written by the leader goroutine before close(done).
 	status int
 	resp   SynthesizeResponse
 	sched  *schedule.Schedule
 	apiErr *APIError
+	// Telemetry outcome, also published before close(done): the span
+	// tree (f.rec's history), the admission wait, the engine time, and
+	// which cache tier answered ("store", "warm", or "cold").
+	spans     []obs.SpanRecord
+	queueWait time.Duration
+	solve     time.Duration
+	cache     string
 }
 
 type flightGroup struct {

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"syccl/internal/obs"
 )
 
 // LoadConfig drives RunLoad, the in-repo load generator behind
@@ -55,13 +57,29 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	return c
 }
 
-// LatencyStats summarizes one phase's request latencies.
-type LatencyStats struct {
-	Count  int     `json:"count"`
+// HistogramStats are the percentiles estimated from an obs.Histogram
+// over the phase's latencies — the same fixed-bucket estimator the
+// daemon's /metrics histograms use, so the loadtest's numbers and a
+// Prometheus histogram_quantile over syccl_request_duration_seconds
+// agree on methodology.
+type HistogramStats struct {
 	P50us  float64 `json:"p50_us"`
+	P90us  float64 `json:"p90_us"`
 	P99us  float64 `json:"p99_us"`
-	MeanUS float64 `json:"mean_us"`
-	MaxUS  float64 `json:"max_us"`
+	P999us float64 `json:"p999_us"`
+	Count  uint64  `json:"count"`
+}
+
+// LatencyStats summarizes one phase's request latencies. P50us/P99us
+// are exact (sorted-sample interpolation); Hist carries the full
+// bucket-estimated percentile set including the p999 tail.
+type LatencyStats struct {
+	Count  int            `json:"count"`
+	P50us  float64        `json:"p50_us"`
+	P99us  float64        `json:"p99_us"`
+	MeanUS float64        `json:"mean_us"`
+	MaxUS  float64        `json:"max_us"`
+	Hist   HistogramStats `json:"hist"`
 }
 
 // LoadReport is what scripts/loadtest.sh records to BENCH_serve.json.
@@ -160,7 +178,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return report, nil
 }
 
-// summarize computes latency percentiles over a copy of lats.
+// summarize computes latency percentiles over a copy of lats (given in
+// microseconds).
 func summarize(lats []float64) LatencyStats {
 	if len(lats) == 0 {
 		return LatencyStats{}
@@ -168,8 +187,10 @@ func summarize(lats []float64) LatencyStats {
 	s := append([]float64(nil), lats...)
 	sort.Float64s(s)
 	var sum float64
+	h := obs.NewHistogram(obs.LatencyBuckets)
 	for _, v := range s {
 		sum += v
+		h.Observe(v / 1e6) // the shared buckets are in seconds
 	}
 	return LatencyStats{
 		Count:  len(s),
@@ -177,6 +198,13 @@ func summarize(lats []float64) LatencyStats {
 		P99us:  percentile(s, 0.99),
 		MeanUS: sum / float64(len(s)),
 		MaxUS:  s[len(s)-1],
+		Hist: HistogramStats{
+			P50us:  h.Quantile(0.50) * 1e6,
+			P90us:  h.Quantile(0.90) * 1e6,
+			P99us:  h.Quantile(0.99) * 1e6,
+			P999us: h.Quantile(0.999) * 1e6,
+			Count:  h.Count(),
+		},
 	}
 }
 

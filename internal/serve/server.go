@@ -17,17 +17,25 @@
 //     without touching the engine at all;
 //   - graceful drain — on SIGTERM the server stops accepting synthesis
 //     work, lets (or, past a deadline, cancels-into-Partial) every
-//     accepted request finish, and flushes stats.
+//     accepted request finish, and flushes stats;
+//   - telemetry — labeled Prometheus metrics, per-request IDs and span
+//     trees, a structured access log, and a flight recorder of recent
+//     and slowest requests.
 //
 // Endpoints: POST /v1/synthesize, GET /v1/schedule/{id}, GET /healthz,
-// GET /statsz, GET /tracez (Chrome trace of recent server activity).
+// GET /statsz, GET /tracez (Chrome trace of recent server activity),
+// GET /metrics (Prometheus text exposition), GET /debug/requests and
+// GET /debug/requests/{id} (flight recorder). Every response carries an
+// X-Syccl-Request header naming the request's flight record.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -49,6 +57,10 @@ const (
 	DefaultMaxSpans     = 16 << 10
 	DefaultMaxSamples   = 64 << 10
 )
+
+// RequestIDHeader names the response header carrying the request's id;
+// GET /debug/requests/{id} returns that request's flight record.
+const RequestIDHeader = "X-Syccl-Request"
 
 // Options configures a Server.
 type Options struct {
@@ -75,6 +87,17 @@ type Options struct {
 	// pipeline spans, and backs GET /tracez. A bounded recorder
 	// (DefaultMaxSpans/DefaultMaxSamples retention) is built when nil.
 	Obs *obs.Recorder
+	// Metrics backs GET /metrics; serve and engine families register on
+	// it. A fresh registry is built when nil (and when Engine is also
+	// built here, the engine shares it).
+	Metrics *obs.Registry
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// API request. Writes are serialized by the server.
+	AccessLog io.Writer
+	// RecentRequests / SlowRequests bound the flight recorder's two
+	// windows (defaults 256 / 32).
+	RecentRequests int
+	SlowRequests   int
 }
 
 func (o Options) withDefaults() Options {
@@ -97,8 +120,11 @@ func (o Options) withDefaults() Options {
 		o.Obs = obs.NewRecorder()
 		o.Obs.SetRetention(DefaultMaxSpans, DefaultMaxSamples)
 	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
 	if o.Engine == nil {
-		o.Engine = engine.New(engine.Options{Obs: o.Obs})
+		o.Engine = engine.New(engine.Options{Obs: o.Obs, Metrics: o.Metrics})
 	}
 	return o
 }
@@ -164,6 +190,11 @@ type Server struct {
 	flights *flightGroup
 	store   *scheduleStore
 
+	met  *serveMetrics
+	frec *flightRecorder
+	alog *accessLogger
+	ids  *requestIDs
+
 	draining atomic.Bool
 	// inFlight counts accepted HTTP requests; bgFlights counts leader
 	// solve goroutines. Drain waits for both to hit zero.
@@ -189,6 +220,10 @@ func New(opts Options) *Server {
 		adm:     newAdmission(opts.Concurrency, opts.QueueDepth),
 		flights: newFlightGroup(),
 		store:   newScheduleStore(opts.StoreEntries),
+		met:     newServeMetrics(opts.Metrics),
+		frec:    newFlightRecorder(opts.RecentRequests, opts.SlowRequests),
+		alog:    newAccessLogger(opts.AccessLog),
+		ids:     newRequestIDs(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
@@ -196,6 +231,9 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /tracez", s.handleTracez)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequest)
 	s.mux = mux
 	return s
 }
@@ -207,6 +245,9 @@ func (s *Server) Engine() *engine.Engine { return s.eng }
 // Recorder exposes the server's observability sink.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
+// Metrics exposes the registry behind GET /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.opts.Metrics }
+
 // InFlight reports accepted requests currently being served.
 func (s *Server) InFlight() int64 { return s.inFlight.Load() }
 
@@ -214,10 +255,60 @@ func (s *Server) InFlight() int64 { return s.inFlight.Load() }
 // work.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// ServeHTTP is the request-scoped telemetry middleware around the mux:
+// it mints the request id, answers with it in X-Syccl-Request, threads
+// it through the context, and — for API routes — emits the metrics,
+// access-log line, and flight record exactly once after the handler
+// returns.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-	s.mux.ServeHTTP(w, r)
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	id := s.ids.next()
+	w.Header().Set(RequestIDHeader, id)
+
+	// Non-API routes (health, stats, the telemetry endpoints themselves)
+	// get the id header but are not recorded — scrapes must not pollute
+	// the request metrics they report.
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		s.mux.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+		return
+	}
+
+	rr := &RequestRecord{
+		ID:     id,
+		Method: r.Method,
+		Path:   r.URL.Path,
+		Start:  time.Now(),
+		Cache:  cacheTierNone,
+	}
+	ctx := obs.WithRequestID(r.Context(), id)
+	ctx = withRequestRecord(ctx, rr)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	rr.Status = sw.status
+	rr.Outcome = outcomeFor(sw.status)
+	rr.DurationUS = float64(time.Since(start)) / float64(time.Microsecond)
+
+	coll, topo := rr.Collective, rr.Topology
+	if coll == "" {
+		coll = labelUnknown
+	}
+	if topo == "" {
+		topo = labelUnknown
+	}
+	s.met.requests.With(coll, topo, rr.Cache, rr.Outcome).Inc()
+	s.met.duration.With(coll, topo, rr.Cache).Observe(rr.DurationUS / 1e6)
+	s.frec.add(rr)
+	s.alog.log(rr)
 }
 
 // Stats snapshots the server and engine counters.
@@ -245,6 +336,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	s.requests.Add(1)
 	s.rec.Count("serve.requests", 1)
+	rr := requestRecordFrom(r.Context())
 
 	if s.draining.Load() {
 		writeAPIError(w, apiErrorf(http.StatusServiceUnavailable, CodeDraining, "server is draining"))
@@ -257,6 +349,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		if aerr == nil {
 			sp.SetStr("topology", res.top.Name)
 			sp.SetStr("collective", res.col.Kind.String())
+			if rr != nil {
+				rr.Topology = strings.ToLower(res.req.Topology)
+				rr.Collective = strings.ToLower(res.col.Kind.String())
+				rr.PlanKey = res.id
+			}
 			s.serveResolved(w, r, res)
 			return
 		}
@@ -264,15 +361,23 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	s.errs.Add(1)
 	s.rec.Count("serve.errors", 1)
 	sp.SetStr("error", aerr.Code)
+	if rr != nil {
+		rr.Error = aerr.Code
+	}
 	writeAPIError(w, aerr)
 }
 
 func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *resolved) {
+	rr := requestRecordFrom(r.Context())
+
 	// Warm duplicates: served straight from the store, engine untouched.
 	if !res.req.BypassStore {
 		if ent, ok := s.store.get(res.id); ok {
 			s.storeHits.Add(1)
 			s.rec.Count("serve.store.hits", 1)
+			if rr != nil {
+				rr.Cache = cacheTierStore
+			}
 			resp := ent.resp
 			resp.Cached = true
 			if res.req.IncludeSchedule {
@@ -286,6 +391,10 @@ func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *reso
 	// Cold or bypassing: join (or start) the single flight for this key.
 	f, leader := s.flights.join(res.key)
 	if leader {
+		f.rec = obs.NewRecorder()
+		if rr != nil {
+			f.reqID = rr.ID
+		}
 		s.bgFlight.Add(1)
 		go s.runFlight(f, res)
 	} else {
@@ -302,19 +411,43 @@ func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *reso
 		// the solve so abandoned work never populates the engine caches.
 		s.errs.Add(1)
 		s.rec.Count("serve.errors", 1)
+		if rr != nil {
+			rr.Error = "client_gone"
+		}
 		writeAPIError(w, apiErrorf(http.StatusServiceUnavailable, CodeDeadline, "client disconnected: %v", r.Context().Err()))
 		return
+	}
+
+	// The flight is done: copy its telemetry into this request's record.
+	// Followers share the leader's span tree and latency breakdown.
+	if rr != nil {
+		rr.Leader = leader
+		rr.Coalesced = !leader
+		rr.QueueWaitUS = float64(f.queueWait) / float64(time.Microsecond)
+		rr.SolveUS = float64(f.solve) / float64(time.Microsecond)
+		rr.Spans = f.spans
+		if leader {
+			rr.Cache = f.cache
+		} else {
+			rr.Cache = cacheTierCoal
+		}
 	}
 
 	if f.apiErr != nil {
 		if f.apiErr.Code == CodeQueueFull {
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.opts.RetryAfter)))
 		}
+		if rr != nil {
+			rr.Error = f.apiErr.Code
+		}
 		writeAPIError(w, f.apiErr)
 		return
 	}
 	resp := f.resp
 	resp.Coalesced = !leader
+	if rr != nil {
+		rr.Partial = resp.Partial
+	}
 	if res.req.IncludeSchedule {
 		resp.Schedule = ToScheduleJSON(f.sched)
 	}
@@ -323,10 +456,21 @@ func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *reso
 
 // runFlight executes one coalesced solve: admission, deadline, engine
 // plan, store. It publishes the outcome on f before closing f.done.
+//
+// The solve's spans land on f.rec — a recorder private to this flight —
+// so the request owns its span tree; the tree is then merged into the
+// server's recorder, keeping /tracez a whole-process view.
 func (s *Server) runFlight(f *flight, res *resolved) {
 	defer s.bgFlight.Add(-1)
 	defer close(f.done)
 	defer s.flights.remove(f)
+	// Registered last so it runs first: publish the span tree and fold
+	// this flight's history into the shared recorder before any waiter
+	// is released by close(f.done).
+	defer func() {
+		f.spans = f.rec.Spans()
+		s.rec.Merge(f.rec)
+	}()
 
 	// Re-check the store under the flight: a request can miss the store,
 	// then lose the race with a finishing duplicate flight and become a
@@ -340,11 +484,16 @@ func (s *Server) runFlight(f *flight, res *resolved) {
 			f.resp.Cached = true
 			f.sched = ent.sched
 			f.status = http.StatusOK
+			f.cache = cacheTierStore
 			return
 		}
 	}
 
-	if err := s.adm.acquire(f.ctx); err != nil {
+	queued := time.Now()
+	err := s.adm.acquire(f.ctx)
+	f.queueWait = time.Since(queued)
+	s.met.queueWait.Observe(f.queueWait.Seconds())
+	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.rejections.Add(1)
 			s.rec.Count("serve.queue.rejections", 1)
@@ -358,18 +507,24 @@ func (s *Server) runFlight(f *flight, res *resolved) {
 	}
 	defer s.adm.release()
 
-	ctx := f.ctx
+	ctx := obs.WithRequestID(f.ctx, f.reqID)
 	if res.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(f.ctx, res.timeout)
+		ctx, cancel = context.WithTimeout(ctx, res.timeout)
 		defer cancel()
 	}
-	sp := s.rec.StartSpan("serve.plan")
+	sp := f.rec.StartSpan("serve.plan")
 	sp.SetStr("key", res.id)
+	if f.reqID != "" {
+		sp.SetStr("request", f.reqID)
+	}
 	opts := res.opts
-	opts.Obs = s.rec
+	opts.Obs = f.rec
+	solveStart := time.Now()
 	result, err := s.eng.Plan(ctx, res.top, res.col, opts)
+	f.solve = time.Since(solveStart)
 	sp.End()
+	s.met.solveDur.With(strings.ToLower(res.col.Kind.String()), strings.ToLower(res.req.Topology)).Observe(f.solve.Seconds())
 	if err != nil {
 		if ctx.Err() != nil {
 			f.apiErr = apiErrorf(http.StatusGatewayTimeout, CodeDeadline,
@@ -398,6 +553,12 @@ func (s *Server) runFlight(f *flight, res *resolved) {
 	}
 	f.sched = result.Schedule
 	f.status = http.StatusOK
+	// Engine-warm (every sub-demand from cache) vs a genuine cold solve.
+	if result.Stats.SolverCalls == 0 {
+		f.cache = cacheTierWarm
+	} else {
+		f.cache = cacheTierCold
+	}
 	if result.Partial {
 		// Anytime result: valid and complete, but not the full pipeline's
 		// answer — surfaced as 206 and kept out of the store.
@@ -421,8 +582,17 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ent, ok := s.store.get(id)
 	if !ok {
+		if rr := requestRecordFrom(r.Context()); rr != nil {
+			rr.Error = CodeNotFound
+		}
 		writeAPIError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "no stored schedule %q", id))
 		return
+	}
+	if rr := requestRecordFrom(r.Context()); rr != nil {
+		rr.Cache = cacheTierStore
+		rr.PlanKey = id
+		rr.Collective = strings.ToLower(ent.resp.Collective)
+		rr.Topology = strings.ToLower(ent.resp.Topology)
 	}
 	resp := ent.resp
 	resp.Cached = true
@@ -450,6 +620,45 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.scrapeRuntime(s)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opts.Metrics.WriteProm(w)
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.frec.snapshot())
+}
+
+func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rr, ok := s.frec.get(id)
+	if !ok {
+		writeAPIError(w, apiErrorf(http.StatusNotFound, CodeNotFound,
+			"no flight record for request %q (evicted or never recorded)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, rr)
+}
+
+// AdminHandler serves the operational endpoints meant for a private
+// listener: net/http/pprof under /debug/pprof/, plus mirrors of
+// /metrics and the flight recorder so one scrape target suffices.
+// syccl-serve mounts it on -admin; it is never part of ServeHTTP.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequest)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
 // Drain gracefully stops the server: new synthesis requests are refused
 // with 503 (healthz flips to draining so load balancers stop routing),
 // and Drain blocks until every accepted request and solve goroutine has
@@ -461,6 +670,7 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Drain(ctx context.Context) {
 	s.draining.Store(true)
 	s.rec.Gauge("serve.draining", 1)
+	s.met.draining.Set(1)
 
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()

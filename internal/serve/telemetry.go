@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"syccl/internal/obs"
+)
+
+// Label values used when a request never resolved far enough to know its
+// workload (bad topology spec, malformed body, unknown route).
+const (
+	labelUnknown   = "unknown"
+	cacheTierNone  = "none"      // request never reached the engine or store
+	cacheTierStore = "store"     // served from the schedule store
+	cacheTierWarm  = "warm"      // engine call, zero real solves (engine caches)
+	cacheTierCold  = "cold"      // engine call with at least one real solve
+	cacheTierCoal  = "coalesced" // shared another request's in-flight solve
+)
+
+// serveMetrics owns every serve-level metric family. All fields are
+// nil-safe: built over a nil *obs.Registry, every child is nil and every
+// observation is a no-op, so the telemetry can be switched off without a
+// single branch at the call sites.
+type serveMetrics struct {
+	reg *obs.Registry
+
+	requests *obs.CounterVec   // syccl_requests_total{collective,topology,cache,outcome}
+	duration *obs.HistogramVec // syccl_request_duration_seconds{collective,topology,cache}
+	solveDur *obs.HistogramVec // syccl_solve_duration_seconds{collective,topology}
+
+	queueWait *obs.Histogram // syccl_queue_wait_seconds
+
+	inflight  *obs.Gauge // syccl_inflight_requests
+	flights   *obs.Gauge // syccl_flights_active
+	storeLen  *obs.Gauge // syccl_store_entries
+	draining  *obs.Gauge // syccl_draining
+	uptime    *obs.Gauge // syccl_process_uptime_seconds
+	gorout    *obs.Gauge // syccl_go_goroutines
+	heapAlloc *obs.Gauge // syccl_go_heap_alloc_bytes
+
+	gcCycles *obs.Counter // syccl_go_gc_cycles_total
+	gcPause  *obs.Counter // syccl_go_gc_pause_seconds_total
+
+	// MemStats counters are cumulative; the registry's counters only
+	// support Add, so each scrape records the delta since the previous
+	// one. Guarded by scrapeMu.
+	scrapeMu     sync.Mutex
+	prevGC       uint32
+	prevPauseNS  uint64
+	runtimeStart time.Time
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	m := &serveMetrics{reg: reg, runtimeStart: time.Now()}
+	m.requests = reg.Counter("syccl_requests_total",
+		"Synthesis API requests served, by workload, cache tier, and outcome.",
+		"collective", "topology", "cache", "outcome")
+	m.duration = reg.Histogram("syccl_request_duration_seconds",
+		"End-to-end request latency.", obs.LatencyBuckets,
+		"collective", "topology", "cache")
+	m.solveDur = reg.Histogram("syccl_solve_duration_seconds",
+		"Engine planning time per leader flight.", obs.LatencyBuckets,
+		"collective", "topology")
+	m.queueWait = reg.Histogram("syccl_queue_wait_seconds",
+		"Time flights spend waiting for an admission slot.", obs.LatencyBuckets).With()
+
+	m.inflight = reg.Gauge("syccl_inflight_requests", "Requests currently being served.").With()
+	m.flights = reg.Gauge("syccl_flights_active", "In-flight coalesced solves.").With()
+	m.storeLen = reg.Gauge("syccl_store_entries", "Schedules retained in the result store.").With()
+	m.draining = reg.Gauge("syccl_draining", "1 while the server refuses new synthesis work.").With()
+	m.uptime = reg.Gauge("syccl_process_uptime_seconds", "Seconds since the server started.").With()
+	m.gorout = reg.Gauge("syccl_go_goroutines", "Live goroutines at last scrape.").With()
+	m.heapAlloc = reg.Gauge("syccl_go_heap_alloc_bytes", "Heap bytes in use at last scrape.").With()
+
+	m.gcCycles = reg.Counter("syccl_go_gc_cycles_total", "Completed GC cycles.").With()
+	m.gcPause = reg.Counter("syccl_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.").With()
+	return m
+}
+
+// scrapeRuntime refreshes the runtime gauges and advances the GC
+// counters by the delta since the previous scrape. Called from the
+// /metrics handler so gauge values are current at exposition time.
+func (m *serveMetrics) scrapeRuntime(s *Server) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.scrapeMu.Lock()
+	defer m.scrapeMu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.gorout.Set(float64(runtime.NumGoroutine()))
+	m.heapAlloc.Set(float64(ms.HeapAlloc))
+	m.uptime.Set(time.Since(m.runtimeStart).Seconds())
+	if ms.NumGC >= m.prevGC {
+		m.gcCycles.Add(float64(ms.NumGC - m.prevGC))
+	}
+	if ms.PauseTotalNs >= m.prevPauseNS {
+		m.gcPause.Add(float64(ms.PauseTotalNs-m.prevPauseNS) / 1e9)
+	}
+	m.prevGC = ms.NumGC
+	m.prevPauseNS = ms.PauseTotalNs
+
+	if s != nil {
+		m.flights.Set(float64(s.flights.len()))
+		m.storeLen.Set(float64(s.store.len()))
+		if s.draining.Load() {
+			m.draining.Set(1)
+		} else {
+			m.draining.Set(0)
+		}
+	}
+}
+
+// outcomeFor maps an HTTP status onto the bounded outcome label set.
+func outcomeFor(status int) string {
+	switch {
+	case status == http.StatusOK:
+		return "ok"
+	case status == http.StatusPartialContent:
+		return "partial"
+	case status == http.StatusTooManyRequests:
+		return "429"
+	default:
+		return "error"
+	}
+}
+
+// requestIDs mints per-process-unique request IDs: a random boot prefix
+// (so IDs from successive daemon runs never collide in logs) plus an
+// atomic sequence number.
+type requestIDs struct {
+	boot string
+	seq  atomic.Uint64
+}
+
+func newRequestIDs() *requestIDs {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a fixed prefix; IDs stay unique within the process.
+		copy(b[:], "sycl")
+	}
+	return &requestIDs{boot: hex.EncodeToString(b[:])}
+}
+
+func (g *requestIDs) next() string {
+	n := g.seq.Add(1)
+	const hexdig = "0123456789abcdef"
+	var buf [17]byte
+	copy(buf[:], g.boot)
+	buf[8] = '-'
+	for i := 0; i < 8; i++ {
+		buf[16-i] = hexdig[n&0xf]
+		n >>= 4
+	}
+	return string(buf[:])
+}
+
+// statusWriter records the status code a handler wrote so the
+// middleware can label metrics and logs after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// accessLine is the structured access-log record: exactly one JSON line
+// per API request, with everything needed to find the request again
+// (id → /debug/requests/{id}) and to explain its latency.
+type accessLine struct {
+	Time       string  `json:"time"`
+	ID         string  `json:"id"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	Outcome    string  `json:"outcome"`
+	Collective string  `json:"collective,omitempty"`
+	Topology   string  `json:"topology,omitempty"`
+	Cache      string  `json:"cache,omitempty"`
+	PlanKey    string  `json:"plan_key,omitempty"`
+	Coalesced  bool    `json:"coalesced,omitempty"`
+	Leader     bool    `json:"leader,omitempty"`
+	QueueUS    float64 `json:"queue_wait_us,omitempty"`
+	SolveUS    float64 `json:"solve_us,omitempty"`
+	DurationUS float64 `json:"duration_us"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// accessLogger serializes concurrent handlers onto one io.Writer so
+// lines never interleave. A nil logger (or nil writer) is a no-op.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{w: w}
+}
+
+func (l *accessLogger) log(rr *RequestRecord) {
+	if l == nil {
+		return
+	}
+	line := accessLine{
+		Time:       rr.Start.UTC().Format(time.RFC3339Nano),
+		ID:         rr.ID,
+		Method:     rr.Method,
+		Path:       rr.Path,
+		Status:     rr.Status,
+		Outcome:    rr.Outcome,
+		Collective: rr.Collective,
+		Topology:   rr.Topology,
+		Cache:      rr.Cache,
+		PlanKey:    rr.PlanKey,
+		Coalesced:  rr.Coalesced,
+		Leader:     rr.Leader,
+		QueueUS:    rr.QueueWaitUS,
+		SolveUS:    rr.SolveUS,
+		DurationUS: rr.DurationUS,
+		Error:      rr.Error,
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(buf)
+	l.mu.Unlock()
+}

@@ -25,8 +25,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core/engine/milp/serve/sim/verify shard) =="
-go test -race ./internal/core/ ./internal/engine/ ./internal/milp/ ./internal/serve/ ./internal/sim/ ./internal/verify/
+echo "== go test -race (core/engine/milp/obs/serve/sim/verify shard) =="
+go test -race ./internal/core/ ./internal/engine/ ./internal/milp/ ./internal/obs/ ./internal/serve/ ./internal/sim/ ./internal/verify/
 
 echo "== fuzz smoke ($FUZZTIME per target) =="
 go test ./internal/verify/ -run='^$' -fuzz='^FuzzValidate$' -fuzztime="$FUZZTIME"
@@ -43,5 +43,11 @@ echo "== loadtest smoke =="
 # A small in-process serving run (temp file, not BENCH_serve.json):
 # exercises the daemon + load generator end to end.
 scripts/loadtest.sh -quick
+
+echo "== telemetry smoke =="
+# Boots the real daemon and asserts /metrics is well-formed (families
+# present, every line parseable, no label drift), request ids resolve
+# through the flight recorder, and the admin listener serves pprof.
+scripts/metrics-smoke.sh
 
 echo "CI checks passed."

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Telemetry smoke: boots the real daemon, drives one request, and then
+# asserts the /metrics exposition is well-formed and complete —
+# required families present, every sample line parseable, no label
+# drift on the request counters — and that the request's id resolves
+# through the flight recorder. Run from anywhere; used by ci.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-18080}
+ADMIN_PORT=${ADMIN_PORT:-18081}
+BASE="http://127.0.0.1:$PORT"
+ADMIN="http://127.0.0.1:$ADMIN_PORT"
+
+workdir=$(mktemp -d -t syccl_metrics_smoke.XXXXXX)
+trap 'kill "$daemon_pid" 2>/dev/null || true; wait "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/syccl-serve" ./cmd/syccl-serve
+"$workdir/syccl-serve" -addr "127.0.0.1:$PORT" -admin "127.0.0.1:$ADMIN_PORT" \
+    -access-log "$workdir/access.log" >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null || { echo "daemon never came up"; cat "$workdir/daemon.log"; exit 1; }
+
+echo "== drive one synthesis =="
+req_id=$(curl -fsS -D - -o "$workdir/resp.json" "$BASE/v1/synthesize" \
+    -d '{"topology":"dgx4","collective":"allgather","size":"1M"}' \
+    | tr -d '\r' | awk 'tolower($1)=="x-syccl-request:"{print $2}')
+[ -n "$req_id" ] || { echo "FAIL: no X-Syccl-Request header"; exit 1; }
+echo "request id: $req_id"
+
+echo "== scrape /metrics =="
+curl -fsS "$BASE/metrics" > "$workdir/metrics.txt"
+
+echo "-- required families --"
+for fam in \
+    syccl_requests_total \
+    syccl_request_duration_seconds \
+    syccl_solve_duration_seconds \
+    syccl_queue_wait_seconds \
+    syccl_inflight_requests \
+    syccl_store_entries \
+    syccl_flights_active \
+    syccl_draining \
+    syccl_process_uptime_seconds \
+    syccl_go_goroutines \
+    syccl_go_heap_alloc_bytes \
+    syccl_go_gc_cycles_total \
+    syccl_go_gc_pause_seconds_total \
+    syccl_engine_plans_total \
+    syccl_engine_cache_lookups_total \
+    syccl_engine_cache_evictions_total
+do
+    grep -q "^# TYPE $fam " "$workdir/metrics.txt" || { echo "FAIL: family $fam missing"; exit 1; }
+done
+echo "all present"
+
+echo "-- exposition well-formed --"
+bad=$(grep -v '^#' "$workdir/metrics.txt" | grep -v '^$' \
+    | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$' || true)
+if [ -n "$bad" ]; then
+    echo "FAIL: malformed exposition lines:"; echo "$bad"; exit 1
+fi
+echo "ok"
+
+echo "-- no label drift on request counters --"
+# Every label key used on syccl_requests_total must come from the
+# contract set; a new key here means a dashboard-breaking change.
+drift=$(grep '^syccl_requests_total{' "$workdir/metrics.txt" \
+    | sed 's/^[^{]*{//; s/}.*//' | tr ',' '\n' | sed 's/=.*//' | sort -u \
+    | grep -Ev '^(collective|topology|cache|outcome)$' || true)
+if [ -n "$drift" ]; then
+    echo "FAIL: unknown labels on syccl_requests_total: $drift"; exit 1
+fi
+grep -q '^syccl_requests_total{collective="allgather",topology="dgx4",cache="cold",outcome="ok"} 1$' "$workdir/metrics.txt" \
+    || { echo "FAIL: cold request not counted"; exit 1; }
+echo "ok"
+
+echo "== flight recorder =="
+curl -fsS "$BASE/debug/requests/$req_id" > "$workdir/record.json"
+grep -q '"serve.plan"' "$workdir/record.json" || { echo "FAIL: record has no span tree"; exit 1; }
+curl -fsS "$BASE/debug/requests" | grep -q "$req_id" || { echo "FAIL: request absent from listing"; exit 1; }
+echo "ok"
+
+echo "== admin listener (pprof + mirrored scrape) =="
+curl -fsS "$ADMIN/debug/pprof/" >/dev/null || { echo "FAIL: pprof index"; exit 1; }
+curl -fsS "$ADMIN/metrics" | grep -q '^syccl_requests_total' || { echo "FAIL: admin /metrics"; exit 1; }
+echo "ok"
+
+echo "== access log =="
+[ -s "$workdir/access.log" ] || { echo "FAIL: access log empty"; exit 1; }
+grep -q "\"id\":\"$req_id\"" "$workdir/access.log" || { echo "FAIL: request id not logged"; exit 1; }
+echo "ok"
+
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+echo "metrics smoke passed."

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Capture pprof profiles from a running syccl-serve admin listener.
+#
+#   scripts/pprof.sh                          # heap + goroutine snapshot
+#   scripts/pprof.sh cpu 10                   # 10s CPU profile
+#   ADMIN=http://127.0.0.1:6060 scripts/pprof.sh
+#
+# Profiles land in ./profiles/ stamped with the capture time; inspect
+# with `go tool pprof <file>`.
+set -euo pipefail
+
+ADMIN=${ADMIN:-http://127.0.0.1:6060}
+kind=${1:-snapshot}
+seconds=${2:-10}
+
+outdir=profiles
+mkdir -p "$outdir"
+stamp=$(date +%Y%m%d-%H%M%S)
+
+case "$kind" in
+snapshot)
+    curl -fsS "$ADMIN/debug/pprof/heap" -o "$outdir/heap-$stamp.pb.gz"
+    curl -fsS "$ADMIN/debug/pprof/goroutine" -o "$outdir/goroutine-$stamp.pb.gz"
+    echo "wrote $outdir/heap-$stamp.pb.gz and $outdir/goroutine-$stamp.pb.gz"
+    ;;
+cpu)
+    echo "profiling CPU for ${seconds}s..."
+    curl -fsS "$ADMIN/debug/pprof/profile?seconds=$seconds" -o "$outdir/cpu-$stamp.pb.gz"
+    echo "wrote $outdir/cpu-$stamp.pb.gz"
+    ;;
+trace)
+    echo "tracing for ${seconds}s..."
+    curl -fsS "$ADMIN/debug/pprof/trace?seconds=$seconds" -o "$outdir/trace-$stamp.out"
+    echo "wrote $outdir/trace-$stamp.out (view with: go tool trace)"
+    ;;
+*)
+    echo "usage: scripts/pprof.sh [snapshot|cpu|trace] [seconds]" >&2
+    exit 2
+    ;;
+esac
