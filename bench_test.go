@@ -15,6 +15,7 @@ import (
 	"syccl/internal/core"
 	"syccl/internal/experiments"
 	"syccl/internal/nccl"
+	"syccl/internal/obs"
 	"syccl/internal/sim"
 	"syccl/internal/sketch"
 	"syccl/internal/solve"
@@ -238,6 +239,99 @@ func BenchmarkTECCLGreedy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := teccl.Synthesize(top, col, teccl.Options{TimeBudget: time.Millisecond}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Flow-relaxation benchmarks (BENCH_solver.json "flow" section) ---
+
+// flowBenchDemand builds an n-GPU AllGather sub-demand (piece i held by
+// GPU i, needed everywhere else).
+func flowBenchDemand(n int, bytes float64) *solve.Demand {
+	d := &solve.Demand{NumGPUs: n, Alpha: topology.NVAlpha, Beta: 1e-9}
+	for i := 0; i < n; i++ {
+		p := solve.Piece{ID: i, Bytes: bytes, Srcs: []int{i}}
+		for j := 0; j < n; j++ {
+			if j != i {
+				p.Dsts = append(p.Dsts, j)
+			}
+		}
+		d.Pieces = append(d.Pieces, p)
+	}
+	return d
+}
+
+// BenchmarkFlowBound: the epoch-domain relaxation on an 8-GPU AllGather
+// sub-demand — the LP the exact engine runs before building any MILP.
+func BenchmarkFlowBound(b *testing.B) {
+	d := flowBenchDemand(8, 1<<17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lb, pivots, err := solve.FlowEpochBound(context.Background(), d, d.Alpha)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lb <= 0 {
+			b.Fatal("no bound")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(pivots), "lp.pivots")
+		}
+	}
+}
+
+// BenchmarkFlowSolve: the flow backend on a 16-GPU AllGather sub-demand
+// (3840 binaries — ten times over the exact engine's MaxBinaries gate).
+func BenchmarkFlowSolve(b *testing.B) {
+	d := flowBenchDemand(16, 1<<17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := solve.FlowSolveCtx(context.Background(), d, solve.Options{E: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(s.Epochs), "epochs")
+		}
+	}
+}
+
+// BenchmarkFlowPruneH800AG: one auto-mode synthesis on the 64-GPU H800
+// rail (1 MiB AllGather), reporting the bound-pruning internals: bounds
+// evaluated, candidates pruned, and MILP builds avoided (flow-proved
+// optimal at the greedy incumbent plus over-gate instances served by the
+// flow backend instead of an exact build).
+func BenchmarkFlowPruneH800AG(b *testing.B) {
+	top := topology.H800Rail(8)
+	col := collective.AllGather(64, float64(1<<20)/64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder()
+		res, err := core.Synthesize(top, col, core.Options{Obs: rec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.BoundsComputed), "bounds")
+			b.ReportMetric(float64(res.Stats.PrunedLB), "pruned_lb")
+			avoided := rec.CounterValue("solve.exact.flow_proved") + rec.CounterValue("solve.flow")
+			b.ReportMetric(avoided, "milp.avoided")
+		}
+	}
+}
+
+// BenchmarkFig14aExact: the Fig 14a sweep with every flow component
+// disabled (pure-MILP baseline the flow section compares against).
+func BenchmarkFig14aExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := quickCfg()
+		cfg.Solver = core.SolverExact
+		s, err := experiments.Fig14a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Rows) == 0 {
+			b.Fatal("empty series")
 		}
 	}
 }

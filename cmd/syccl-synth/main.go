@@ -61,8 +61,12 @@ func main() {
 	start := time.Now()
 	switch opts.System {
 	case "syccl":
+		mode, err := core.ParseSolverMode(opts.Solver)
+		if err != nil {
+			fail(err)
+		}
 		eng := engine.New(engine.Options{Obs: rec})
-		res, err := eng.Plan(ctx, top, col, core.Options{E1: opts.E1, E2: opts.E2, Workers: opts.Workers, Seed: opts.Seed, Obs: rec})
+		res, err := eng.Plan(ctx, top, col, core.Options{E1: opts.E1, E2: opts.E2, Workers: opts.Workers, Seed: opts.Seed, SolverMode: mode, Obs: rec})
 		if err != nil {
 			fail(err)
 		}
@@ -71,6 +75,13 @@ func main() {
 			res.Phases.Search.Round(time.Microsecond), res.Phases.Combine.Round(time.Microsecond),
 			res.Phases.Solve1.Round(time.Millisecond), res.Phases.Solve2.Round(time.Millisecond),
 			res.Stats.Sketches, res.Stats.Candidates, res.Stats.SolverCalls, res.Stats.CacheHits, res.Stats.CacheMisses)
+		if res.Stats.BoundsComputed > 0 || res.Stats.PrunedLB > 0 {
+			fmt.Printf("bounds: computed=%d pruned=%d proved-optimal=%t\n",
+				res.Stats.BoundsComputed, res.Stats.PrunedLB, res.Stats.ProvedOptimal)
+		}
+		for _, e := range res.Stats.SolveErrors {
+			fmt.Fprintln(os.Stderr, "syccl-synth: solver:", e)
+		}
 		if res.Partial {
 			fmt.Printf("note: -timeout %v expired mid-synthesis; reporting the best schedule found so far\n", opts.Timeout)
 		}

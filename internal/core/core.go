@@ -6,6 +6,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -44,6 +45,16 @@ type Options struct {
 	Search sketch.SearchOptions
 	// Engine overrides the sub-demand solving engine (default auto).
 	Engine solve.Engine
+	// SolverMode selects the solver strategy family (the -solver CLI
+	// knob). SolverAuto (default) runs the exact MILP with
+	// flow-relaxation bound pruning — candidates and horizons the LP
+	// bound proves hopeless are skipped — and hands instances over the
+	// MaxBinaries gate to the flow backend. SolverExact disables every
+	// flow component (pure MILP; oversized demands fail their candidates
+	// and surface in Stats). SolverFlow uses the flow backend for every
+	// sub-demand. An explicit Engine override takes precedence over the
+	// engine the mode implies.
+	SolverMode SolverMode
 	// SolveTimeLimit, when positive, wall-clock-caps each exact
 	// sub-demand solve (truncated refinement keeps the greedy
 	// incumbent). The default 0 leaves the exact engine bounded only by
@@ -74,6 +85,59 @@ type Options struct {
 	// SketchCache optionally serves sketch-search results across requests,
 	// keyed by topology fingerprint. Nil disables reuse.
 	SketchCache SketchCache
+	// BoundCache optionally serves flow lower bounds across requests
+	// (internal/engine owns the implementation), so warm requests prune
+	// candidates without re-solving the bound LPs. Nil disables reuse.
+	BoundCache BoundCache
+}
+
+// SolverMode selects the solver strategy family for sub-demand solving.
+type SolverMode int
+
+// Solver modes (the -solver CLI knob).
+const (
+	// SolverAuto: exact MILP with flow-bound pruning, flow backend
+	// fallback above the MaxBinaries gate.
+	SolverAuto SolverMode = iota
+	// SolverExact: exact MILP only; no flow bounds, no fallback.
+	SolverExact
+	// SolverFlow: flow-relaxation backend for every sub-demand.
+	SolverFlow
+)
+
+func (m SolverMode) String() string {
+	switch m {
+	case SolverAuto:
+		return "auto"
+	case SolverExact:
+		return "exact"
+	case SolverFlow:
+		return "flow"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseSolverMode parses the -solver flag value.
+func ParseSolverMode(s string) (SolverMode, error) {
+	switch s {
+	case "", "auto":
+		return SolverAuto, nil
+	case "exact":
+		return SolverExact, nil
+	case "flow":
+		return SolverFlow, nil
+	}
+	return 0, fmt.Errorf("core: unknown solver mode %q (want auto, exact, or flow)", s)
+}
+
+// BoundCache is a cross-request store of flow lower bounds, keyed by
+// demand identity plus a bound-formulation signature. Implementations
+// must be safe for concurrent use and must not retain the caller's
+// demand after either call returns.
+type BoundCache interface {
+	Lookup(d *solve.Demand, sig string) (float64, bool)
+	Store(d *solve.Demand, sig string, bound float64)
 }
 
 // SolveCache is a cross-request store of solved sub-schedules. Lookup
@@ -152,6 +216,24 @@ type Stats struct {
 	CacheHits   int           // sub-demands served by isomorphism mapping
 	CacheMisses int           // sub-demands that fell through to a solver call
 	MaxSolve    time.Duration // longest single sub-demand solve (Fig 17c)
+	// BoundsComputed counts candidate flow lower bounds evaluated
+	// between the coarse and fine passes; PrunedLB counts the candidates
+	// those bounds eliminated before any fine-pass MILP was built.
+	BoundsComputed int
+	PrunedLB       int
+	// ProvedOptimal reports that the fine pass was skipped entirely:
+	// the coarse incumbent met its own flow lower bound and every rival
+	// was bound-pruned, so no schedule under the port model can do
+	// better.
+	ProvedOptimal bool
+	// TooLarge counts sub-demand solves rejected at the exact engine's
+	// MaxBinaries size gate (SolverExact mode — SolverAuto reroutes
+	// these to the flow backend instead). SolveErrors carries the
+	// distinct solver error messages behind failed candidates, in
+	// deterministic order, so oversized instances are diagnosable
+	// instead of silently dropping candidates.
+	TooLarge    int
+	SolveErrors []string
 }
 
 // Result is a synthesized schedule with its predicted performance.
@@ -169,6 +251,25 @@ type Result struct {
 	// validated candidate found by then rather than the full pipeline's
 	// choice. Partial schedules are still complete, correct schedules.
 	Partial bool
+}
+
+// fineEngine resolves the sub-demand engine for accuracy-critical passes
+// (the fine pass, and every pass when two-step synthesis is disabled):
+// an explicit Engine override wins, otherwise the solver mode decides.
+// The coarse pass stays on greedy regardless of mode — it only ranks
+// candidates, and mode selection concerns how survivors are refined.
+func (o Options) fineEngine() solve.Engine {
+	if o.Engine != solve.EngineAuto {
+		return o.Engine
+	}
+	switch o.SolverMode {
+	case SolverExact:
+		return solve.EngineExact
+	case SolverFlow:
+		return solve.EngineFlow
+	default:
+		return solve.EngineAuto
+	}
 }
 
 // candidate is one sketch combination under evaluation.

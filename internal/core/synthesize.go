@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -108,7 +109,7 @@ func seedCounters(rec *obs.Recorder) {
 	for _, name := range []string{
 		"cache.hits", "cache.misses", "lp.pivots", "milp.nodes",
 		"sketch.nodes", "sketch.emitted", "candidates", "candidates.pruned",
-		"sim.events",
+		"candidates.pruned_lb", "sim.events",
 	} {
 		rec.Count(name, 0)
 	}
@@ -185,7 +186,7 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	t0 = time.Now()
 	e1, eng1 := opts.E1, solve.EngineGreedy
 	if opts.DisableTwoStep {
-		e1, eng1 = opts.E2, opts.Engine
+		e1, eng1 = opts.E2, opts.fineEngine()
 	}
 	if opts.Engine != solve.EngineAuto {
 		eng1 = opts.Engine
@@ -246,20 +247,41 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 			keep = append(keep, c)
 		}
 	}
-	res.Stats.Refined = len(keep)
 	opts.Obs.Count("candidates.pruned", float64(len(cands)-len(keep)))
+
+	// Flow-bound filter between the passes: drop survivors whose flow
+	// lower bound proves they cannot beat the incumbent, and detect when
+	// the incumbent's own bound proves the coarse schedule optimal. See
+	// bound.go; pruning never changes the fine-pass winner.
+	proved := false
+	if opts.SolverMode != SolverExact {
+		keep, proved = pruneByBound(ctx, top, col, keep, opts, &res.Stats, parent)
+	}
+	res.Stats.Refined = len(keep)
 
 	// Phase 2b: fine synthesis of the survivors. Injected fixed schedules
 	// (nil combo, e.g. the ring) pass through realizeAll untouched and
 	// keep their coarse-pass result.
 	fineSpan := parent.Child("solve.fine")
 	fineSpan.SetInt("survivors", int64(len(keep)))
+	if proved {
+		// The incumbent met its own lower bound and every rival is
+		// pruned: no MILP can improve on the coarse schedule, so the
+		// fine pass has nothing to do.
+		fineSpan.SetStr("outcome", "proved-optimal")
+		fineSpan.End()
+		res.Stats.ProvedOptimal = true
+		best := keep[0]
+		res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
+		res.Partial = ctx.Err() != nil
+		return res, validateForward(res.Schedule, col)
+	}
 	t0 = time.Now()
 	fineCombos := make([]*sketch.Combination, len(keep))
 	for i, c := range keep {
 		fineCombos[i] = c.combo
 	}
-	fine := realizeAll(ctx, top, col, fineCombos, opts.E2, opts.Engine, opts, &res.Stats, fineSpan)
+	fine := realizeAll(ctx, top, col, fineCombos, opts.E2, opts.fineEngine(), opts, &res.Stats, fineSpan)
 	best := keep[0]
 	bestTime := best.time
 	bestSched := best.sched
@@ -430,8 +452,12 @@ func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Col
 	// before class batching. An exact-signature hit returns the stored
 	// solution verbatim, which is what makes warm re-plans bit-identical
 	// to the cold run that populated the cache.
-	solveSig := fmt.Sprintf("e%.9g|g%d|t%d|s%d",
-		e, engine, opts.SolveTimeLimit.Nanoseconds(), opts.Seed)
+	// SolverExact disables the flow bound inside the exact engine, which
+	// changes which horizons are searched (and thus the node budget
+	// spent), so the flag is part of the cache signature.
+	noFlow := opts.SolverMode == SolverExact
+	solveSig := fmt.Sprintf("e%.9g|g%d|t%d|s%d|fb%t",
+		e, engine, opts.SolveTimeLimit.Nanoseconds(), opts.Seed, noFlow)
 	cached := make([]*solve.SubSchedule, len(demands))
 	if opts.SolveCache != nil {
 		parallelFor(len(demands), opts.Workers, func(i int) {
@@ -459,11 +485,12 @@ func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Col
 	}
 
 	solveOpts := solve.Options{
-		E:           e,
-		Engine:      engine,
-		TimeLimit:   opts.SolveTimeLimit,
-		Seed:        opts.Seed,
-		MILPWorkers: opts.MILPWorkers,
+		E:                e,
+		Engine:           engine,
+		TimeLimit:        opts.SolveTimeLimit,
+		Seed:             opts.Seed,
+		MILPWorkers:      opts.MILPWorkers,
+		DisableFlowBound: noFlow,
 	}
 
 	// Solve each class representative once, in parallel; representatives
@@ -480,6 +507,7 @@ func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Col
 		}
 	}
 	durs := make([]time.Duration, len(demands))
+	errs := make([]error, len(demands))
 	parallelFor(len(toSolve), opts.Workers, func(k int) {
 		i := toSolve[k]
 		ws := span.ChildLane("solve.subdemand")
@@ -491,12 +519,25 @@ func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Col
 		durs[i] = time.Since(start)
 		ws.End()
 		if err != nil {
-			return // the class stays unsolved; its candidates drop out
+			errs[i] = err // the class stays unsolved; its candidates drop out
+			return
 		}
 		solved[i] = sub
 	})
 	for _, i := range toSolve {
 		if solved[i] == nil {
+			// Surface why the class failed, in deterministic demand
+			// order, instead of silently dropping its candidates.
+			// Cancellation is not an error condition (anytime path).
+			if err := errs[i]; err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				var tle *solve.TooLargeError
+				if errors.As(err, &tle) {
+					stats.TooLarge++
+				}
+				if msg := err.Error(); len(stats.SolveErrors) < maxSolveErrors && !containsString(stats.SolveErrors, msg) {
+					stats.SolveErrors = append(stats.SolveErrors, msg)
+				}
+			}
 			continue
 		}
 		stats.SolverCalls++
@@ -569,6 +610,19 @@ func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Col
 		out[ci] = realized{sched: sched, time: r.Time, ok: true}
 	})
 	return out
+}
+
+// maxSolveErrors caps the distinct solver errors surfaced per pass so a
+// pathological run cannot grow Stats without bound.
+const maxSolveErrors = 8
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // parallelFor runs fn(0..n-1) on up to workers goroutines, pulling

@@ -44,6 +44,10 @@ type Options struct {
 	// SolveCacheEntries bounds the sub-schedule cache across all shards
 	// (default 4096).
 	SolveCacheEntries int
+	// BoundCacheEntries bounds the flow-bound cache (scalar lower bounds
+	// per sub-demand; default 4096). Warm requests prune candidates
+	// without re-solving the bound LPs.
+	BoundCacheEntries int
 	// Shards is the lock-striping factor of the sub-schedule cache,
 	// rounded up to a power of two (default 16). Isomorphic demands land
 	// in the same shard, so iso-fallback lookups stay shard-local.
@@ -67,6 +71,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SolveCacheEntries <= 0 {
 		o.SolveCacheEntries = 4096
+	}
+	if o.BoundCacheEntries <= 0 {
+		o.BoundCacheEntries = 4096
 	}
 	if o.Shards <= 0 {
 		o.Shards = 16
@@ -95,6 +102,13 @@ type Stats struct {
 	// SketchHits / SketchMisses count sketch cache lookups.
 	SketchHits   int64 `json:"sketch_hits"`
 	SketchMisses int64 `json:"sketch_misses"`
+	// BoundHits / BoundMisses count flow-bound cache lookups; BoundsPruned
+	// and BoundsProved aggregate the candidates eliminated (and fine
+	// passes skipped) by the flow lower bound across all plans.
+	BoundHits    int64 `json:"bound_hits"`
+	BoundMisses  int64 `json:"bound_misses"`
+	BoundsPruned int64 `json:"bounds_pruned"`
+	BoundsProved int64 `json:"bounds_proved"`
 }
 
 // Engine is a long-lived, concurrency-safe planner. The zero value is not
@@ -105,6 +119,7 @@ type Engine struct {
 	opts     Options
 	sketches sketchLRU
 	shards   []solveShard
+	bounds   boundLRU
 	mask     uint32
 
 	plans        atomic.Int64
@@ -116,13 +131,19 @@ type Engine struct {
 	evictions    atomic.Int64
 	sketchHits   atomic.Int64
 	sketchMisses atomic.Int64
+	boundHits    atomic.Int64
+	boundMisses  atomic.Int64
+	boundsPruned atomic.Int64
+	boundsProved atomic.Int64
 
 	// Labeled metric children, resolved once at construction so the cache
 	// hot paths pay a single nil-safe atomic add per event.
-	mPlanOK, mPlanPartial, mPlanError  *obs.Counter
-	mSolveExact, mSolveIso, mSolveMiss *obs.Counter
-	mSketchHit, mSketchMiss            *obs.Counter
-	mEvictSolve, mEvictSketch          *obs.Counter
+	mPlanOK, mPlanPartial, mPlanError       *obs.Counter
+	mSolveExact, mSolveIso, mSolveMiss      *obs.Counter
+	mSketchHit, mSketchMiss                 *obs.Counter
+	mBoundExact, mBoundIso, mBoundMiss      *obs.Counter
+	mEvictSolve, mEvictSketch, mEvictBound  *obs.Counter
+	mBoundPruned, mBoundKept, mBoundsProved *obs.Counter
 }
 
 // New builds an Engine with the given options.
@@ -145,6 +166,7 @@ func New(opts Options) *Engine {
 	for i := range e.shards {
 		e.shards[i].init(perShard)
 	}
+	e.bounds.init(opts.BoundCacheEntries)
 	// A nil registry hands out nil vectors and nil children, so every
 	// metric update below stays a no-op when telemetry is off.
 	plans := opts.Metrics.Counter("syccl_engine_plans_total",
@@ -159,10 +181,20 @@ func New(opts Options) *Engine {
 	e.mSolveMiss = lookups.With("solve", "miss")
 	e.mSketchHit = lookups.With("sketch", "hit")
 	e.mSketchMiss = lookups.With("sketch", "miss")
+	e.mBoundExact = lookups.With("bound", "exact")
+	e.mBoundIso = lookups.With("bound", "iso")
+	e.mBoundMiss = lookups.With("bound", "miss")
 	evict := opts.Metrics.Counter("syccl_engine_cache_evictions_total",
 		"LRU evictions by cache.", "cache")
 	e.mEvictSolve = evict.With("solve")
 	e.mEvictSketch = evict.With("sketch")
+	e.mEvictBound = evict.With("bound")
+	boundsTotal := opts.Metrics.Counter("syccl_solver_bounds_total",
+		"Candidate flow lower bounds by outcome: pruned (candidate eliminated), kept (bound insufficient to prune), proved_optimal (fine pass skipped).",
+		"result")
+	e.mBoundPruned = boundsTotal.With("pruned")
+	e.mBoundKept = boundsTotal.With("kept")
+	e.mBoundsProved = boundsTotal.With("proved_optimal")
 	return e
 }
 
@@ -186,10 +218,24 @@ func (e *Engine) Plan(ctx context.Context, top *topology.Topology, col *collecti
 	e.count("engine.plans", 1)
 	opts.SolveCache = solveCacheAdapter{e}
 	opts.SketchCache = sketchCacheAdapter{e}
+	opts.BoundCache = boundCacheAdapter{e}
 	res, err := core.SynthesizeContext(ctx, top, col, opts)
 	if (err != nil && ctx.Err() != nil) || (res != nil && res.Partial) {
 		e.cancelled.Add(1)
 		e.count("engine.cancelled", 1)
+	}
+	if res != nil {
+		if pruned := int64(res.Stats.PrunedLB); pruned > 0 {
+			e.boundsPruned.Add(pruned)
+			e.mBoundPruned.Add(float64(pruned))
+		}
+		if kept := int64(res.Stats.BoundsComputed - res.Stats.PrunedLB); kept > 0 {
+			e.mBoundKept.Add(float64(kept))
+		}
+		if res.Stats.ProvedOptimal {
+			e.boundsProved.Add(1)
+			e.mBoundsProved.Inc()
+		}
 	}
 	switch {
 	case err != nil:
@@ -214,6 +260,10 @@ func (e *Engine) Stats() Stats {
 		Evictions:    e.evictions.Load(),
 		SketchHits:   e.sketchHits.Load(),
 		SketchMisses: e.sketchMisses.Load(),
+		BoundHits:    e.boundHits.Load(),
+		BoundMisses:  e.boundMisses.Load(),
+		BoundsPruned: e.boundsPruned.Load(),
+		BoundsProved: e.boundsProved.Load(),
 	}
 }
 
@@ -354,6 +404,97 @@ func cloneSub(s *solve.SubSchedule) *solve.SubSchedule {
 	return &out
 }
 
+// --- flow-bound cache ---
+
+// boundEntry is one cached flow lower bound. The bound is invariant
+// under GPU relabeling (the isomorph keys embed α, β, and the piece
+// structure), so entries are stored under their exact key and also
+// served to merely-isomorphic demands through the iso index — a scalar
+// needs no schedule remapping.
+type boundEntry struct {
+	exactKey string
+	isoKey   string
+	bound    float64
+	elem     *list.Element
+}
+
+type boundLRU struct {
+	mu      sync.Mutex
+	byExact map[string]*boundEntry
+	byIso   map[string]*boundEntry
+	lru     *list.List
+	cap     int
+}
+
+func (c *boundLRU) init(cap int) {
+	c.byExact = make(map[string]*boundEntry)
+	c.byIso = make(map[string]*boundEntry)
+	c.lru = list.New()
+	c.cap = cap
+}
+
+// boundCacheAdapter implements core.BoundCache on the engine.
+type boundCacheAdapter struct{ e *Engine }
+
+func (a boundCacheAdapter) Lookup(d *solve.Demand, sig string) (float64, bool) {
+	e := a.e
+	exact := isomorph.ExactKey(d) + "|" + sig
+	iso := isomorph.Key(d) + "|" + sig
+	c := &e.bounds
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.byExact[exact]; ok {
+		c.lru.MoveToFront(ent.elem)
+		e.boundHits.Add(1)
+		e.count("engine.bound.hits", 1)
+		e.mBoundExact.Inc()
+		return ent.bound, true
+	}
+	if ent, ok := c.byIso[iso]; ok {
+		c.lru.MoveToFront(ent.elem)
+		e.boundHits.Add(1)
+		e.count("engine.bound.hits", 1)
+		e.mBoundIso.Inc()
+		return ent.bound, true
+	}
+	e.boundMisses.Add(1)
+	e.count("engine.bound.misses", 1)
+	e.mBoundMiss.Inc()
+	return 0, false
+}
+
+func (a boundCacheAdapter) Store(d *solve.Demand, sig string, bound float64) {
+	e := a.e
+	exact := isomorph.ExactKey(d) + "|" + sig
+	iso := isomorph.Key(d) + "|" + sig
+	c := &e.bounds
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.byExact[exact]; ok {
+		// First write wins, as in the solve cache.
+		c.lru.MoveToFront(ent.elem)
+		return
+	}
+	ent := &boundEntry{exactKey: exact, isoKey: iso, bound: bound}
+	ent.elem = c.lru.PushFront(ent)
+	c.byExact[exact] = ent
+	if _, ok := c.byIso[iso]; !ok {
+		c.byIso[iso] = ent
+	}
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		victim := back.Value.(*boundEntry)
+		c.lru.Remove(back)
+		delete(c.byExact, victim.exactKey)
+		if c.byIso[victim.isoKey] == victim {
+			delete(c.byIso, victim.isoKey)
+		}
+		e.evictions.Add(1)
+		e.count("engine.cache.evictions", 1)
+		e.mEvictBound.Inc()
+	}
+}
+
 // --- sketch cache ---
 
 type sketchEntry struct {
@@ -432,4 +573,5 @@ func cloneSketches(in []*sketch.Sketch) []*sketch.Sketch {
 var (
 	_ core.SolveCache  = solveCacheAdapter{}
 	_ core.SketchCache = sketchCacheAdapter{}
+	_ core.BoundCache  = boundCacheAdapter{}
 )

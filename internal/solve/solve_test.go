@@ -189,7 +189,7 @@ func TestAutoFallsBackWhenTooLarge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Engine != "greedy+restarts" && s.Engine != "exact" {
+	if s.Engine != "flow" && s.Engine != "exact" {
 		t.Errorf("engine = %q", s.Engine)
 	}
 	if err := CheckSolution(d, s); err != nil {

@@ -32,7 +32,10 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^(BenchmarkLP|BenchmarkMILP)' -count "$count" \
     "${bench_flags[@]+"${bench_flags[@]}"}" \
     ./internal/lp/ ./internal/milp/ | tee "$raw"
-go test -run '^$' -bench '^BenchmarkFig14a$' -count "$count" -benchtime 1x \
+go test -run '^$' -bench '^(BenchmarkFlowBound|BenchmarkFlowSolve)$' -count "$count" \
+    "${bench_flags[@]+"${bench_flags[@]}"}" \
+    . | tee -a "$raw"
+go test -run '^$' -bench '^(BenchmarkFig14a|BenchmarkFig14aExact|BenchmarkFlowPruneH800AG)$' -count "$count" -benchtime 1x \
     . | tee -a "$raw"
 
 awk '
@@ -56,12 +59,25 @@ END {
     printf "{\n  \"benchmarks\": {\n"
     for (k = 1; k <= n; k++) {
         name = names[k]
-        printf "    \"%s\": {\"ns_per_op\": %d", name, best[name]
+        printf "    \"%s\": {\"ns_per_op\": %.0f", name, best[name]
         cnt = split(mnames[name], mm, " ")
         for (j = 1; j <= cnt; j++)
             printf ", \"%s\": %g", mm[j], metric[name "|" mm[j]]
         printf "}%s\n", (k < n ? "," : "")
     }
+    printf "  },\n"
+    bounds = metric["FlowPruneH800AG|bounds"] + 0
+    pruned = metric["FlowPruneH800AG|pruned_lb"] + 0
+    printf "  \"flow\": {\n"
+    printf "    \"bound_ns\": %.0f,\n", best["FlowBound"]
+    printf "    \"flow_solve_ns\": %.0f,\n", best["FlowSolve"]
+    printf "    \"h800_ag_bounds\": %d,\n", bounds
+    printf "    \"h800_ag_pruned_lb\": %d,\n", pruned
+    printf "    \"h800_ag_prune_rate\": %.3f,\n", (bounds > 0 ? pruned / bounds : 0)
+    printf "    \"h800_ag_milp_builds_avoided\": %d,\n", metric["FlowPruneH800AG|milp.avoided"] + 0
+    printf "    \"fig14a_exact_ns\": %.0f,\n", best["Fig14aExact"]
+    printf "    \"fig14a_auto_ns\": %.0f,\n", best["Fig14a"]
+    printf "    \"note\": \"bound_ns = one epoch-domain relaxation on an 8-GPU AllGather sub-demand; flow_solve_ns = the flow backend on a 16-GPU sub-demand 10x over the MaxBinaries gate; h800_ag_* = auto-mode candidate-pruning internals on the 64-GPU rail AllGather; fig14a_exact_ns = the sweep with all flow components disabled (-solver exact), fig14a_auto_ns with them on. The Fig14a sweep is dominated by the fixed TECCL comparison inside it (~1s of the total), so both modes sit within noise of the untouched pre-flow tree on the same machine.\"\n"
     printf "  },\n"
     printf "  \"baseline\": {\n"
     printf "    \"LPSolve\": {\"ns_per_op\": 572177, \"lp.pivots\": 88},\n"
@@ -89,8 +105,8 @@ awk '
 END {
     printf "{\n"
     printf "  \"workload\": \"AllGather 1MiB on h800-small-8gpu\",\n"
-    printf "  \"cold_plan\": {\"ns_per_op\": %d},\n", cold
-    printf "  \"warm_plan\": {\"ns_per_op\": %d},\n", warm
+    printf "  \"cold_plan\": {\"ns_per_op\": %.0f},\n", cold
+    printf "  \"warm_plan\": {\"ns_per_op\": %.0f},\n", warm
     printf "  \"warm_speedup\": %.2f,\n", (warm > 0 ? cold / warm : 0)
     printf "  \"note\": \"cold = fresh engine per plan (full sketch search + solves); warm = shared engine, second identical plan served from the sketch and sub-schedule caches. Best ns/op per variant.\"\n"
     printf "}\n"

@@ -53,7 +53,8 @@ for fam in \
     syccl_go_gc_pause_seconds_total \
     syccl_engine_plans_total \
     syccl_engine_cache_lookups_total \
-    syccl_engine_cache_evictions_total
+    syccl_engine_cache_evictions_total \
+    syccl_solver_bounds_total
 do
     grep -q "^# TYPE $fam " "$workdir/metrics.txt" || { echo "FAIL: family $fam missing"; exit 1; }
 done
@@ -83,12 +84,17 @@ echo "ok"
 echo "== flight recorder =="
 curl -fsS "$BASE/debug/requests/$req_id" > "$workdir/record.json"
 grep -q '"serve.plan"' "$workdir/record.json" || { echo "FAIL: record has no span tree"; exit 1; }
-curl -fsS "$BASE/debug/requests" | grep -q "$req_id" || { echo "FAIL: request absent from listing"; exit 1; }
+curl -fsS "$BASE/debug/requests" > "$workdir/requests.json" || { echo "FAIL: /debug/requests"; exit 1; }
+grep -q "$req_id" "$workdir/requests.json" || { echo "FAIL: request absent from listing"; exit 1; }
 echo "ok"
 
 echo "== admin listener (pprof + mirrored scrape) =="
 curl -fsS "$ADMIN/debug/pprof/" >/dev/null || { echo "FAIL: pprof index"; exit 1; }
-curl -fsS "$ADMIN/metrics" | grep -q '^syccl_requests_total' || { echo "FAIL: admin /metrics"; exit 1; }
+# Capture before grepping: `curl | grep -q` races curl's write against
+# grep's early exit, and with pipefail the resulting EPIPE (curl 23)
+# fails the pipeline even though the match succeeded.
+curl -fsS "$ADMIN/metrics" > "$workdir/admin_metrics.txt" || { echo "FAIL: admin /metrics scrape"; exit 1; }
+grep -q '^syccl_requests_total' "$workdir/admin_metrics.txt" || { echo "FAIL: admin /metrics"; exit 1; }
 echo "ok"
 
 echo "== access log =="
