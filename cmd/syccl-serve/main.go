@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"syccl/internal/cli"
+	"syccl/internal/persist"
 	"syccl/internal/serve"
 )
 
@@ -54,15 +55,34 @@ func main() {
 		accessLog = f
 	}
 
+	var store *persist.Store
+	if opts.CacheDir != "" {
+		var err error
+		if store, err = persist.Open(persist.Options{Dir: opts.CacheDir}); err != nil {
+			fail(fmt.Errorf("cache dir: %w", err))
+		}
+	}
+	var prewarm []serve.Request
+	if opts.Prewarm != "" {
+		topos, cols, sizes, err := cli.ParsePrewarm(opts.Prewarm)
+		if err != nil {
+			fail(err) // Validate caught this already; belt and suspenders
+		}
+		prewarm = serve.PrewarmGrid(topos, cols, sizes)
+	}
+
 	s := serve.New(serve.Options{
-		Concurrency:    opts.Concurrency,
-		QueueDepth:     opts.QueueDepth,
-		StoreEntries:   opts.StoreEntries,
-		DefaultTimeout: opts.Timeout,
-		DefaultWorkers: opts.Workers,
-		RetryAfter:     opts.RetryAfter,
-		MaxBodyBytes:   opts.MaxBody,
-		AccessLog:      accessLog,
+		Concurrency:      opts.Concurrency,
+		QueueDepth:       opts.QueueDepth,
+		StoreEntries:     opts.StoreEntries,
+		DefaultTimeout:   opts.Timeout,
+		DefaultWorkers:   opts.Workers,
+		RetryAfter:       opts.RetryAfter,
+		MaxBodyBytes:     opts.MaxBody,
+		AccessLog:        accessLog,
+		Persist:          store,
+		SnapshotInterval: opts.SnapshotInterval,
+		Prewarm:          prewarm,
 	})
 	hs := &http.Server{Addr: opts.Addr, Handler: s}
 	done := s.DrainOnSignal(hs, opts.DrainTimeout, syscall.SIGTERM, syscall.SIGINT)
@@ -79,6 +99,10 @@ func main() {
 		fmt.Printf("syccl-serve: admin (pprof, /metrics) on %s\n", opts.AdminAddr)
 	}
 
+	if store != nil {
+		fmt.Printf("syccl-serve: plan cache %s (%d entries, %d restored, prewarm %d)\n",
+			store.Dir(), store.Len(), s.Stats().Server.Restored, len(prewarm))
+	}
 	fmt.Printf("syccl-serve: listening on %s (concurrency=%d queue=%d store=%d)\n",
 		opts.Addr, opts.Concurrency, opts.QueueDepth, opts.StoreEntries)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

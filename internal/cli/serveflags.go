@@ -3,6 +3,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -24,6 +25,16 @@ type ServeFlags struct {
 	// AccessLog is where structured access-log lines go: "" disables,
 	// "-" means stderr, anything else is appended to as a file.
 	AccessLog string
+	// CacheDir enables the disk-backed plan cache: solved sub-schedules
+	// are written through to it, and the result store is snapshotted into
+	// it and restored on the next boot. Empty disables persistence.
+	CacheDir string
+	// SnapshotInterval flushes the result store to the cache directory
+	// periodically (0 = only at drain). Requires CacheDir.
+	SnapshotInterval time.Duration
+	// Prewarm is a background sweep grid "topos:collectives:sizes" (each
+	// part comma-separated); parsed with ParsePrewarm.
+	Prewarm string
 }
 
 // NewServeFlags registers syccl-serve's flags on fs and returns the
@@ -41,6 +52,9 @@ func NewServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 30*time.Second, "grace period on SIGTERM/SIGINT before in-flight solves are cancelled into anytime results")
 	fs.StringVar(&f.AdminAddr, "admin", "", "admin listener address for pprof, /metrics, and /debug/requests (empty = disabled)")
 	fs.StringVar(&f.AccessLog, "access-log", "", `structured access log destination: "-" for stderr, a path to append to, empty to disable`)
+	fs.StringVar(&f.CacheDir, "cache-dir", "", "disk-backed plan cache directory: solves are written through and the result store snapshot warm-boots the next run (empty = disabled)")
+	fs.DurationVar(&f.SnapshotInterval, "snapshot-interval", 0, "periodic result-store snapshot flush into -cache-dir (0 = only at drain)")
+	fs.StringVar(&f.Prewarm, "prewarm", "", `background prewarm grid "topos:collectives:sizes", each comma-separated, e.g. "dgx4,server8:allgather,broadcast:1M,16M"`)
 	return f
 }
 
@@ -71,5 +85,58 @@ func (f *ServeFlags) Validate() error {
 	if f.AdminAddr != "" && f.AdminAddr == f.Addr {
 		return fmt.Errorf("-admin must differ from -addr (pprof must not share the public listener)")
 	}
+	if f.SnapshotInterval < 0 {
+		return fmt.Errorf("-snapshot-interval must be >= 0")
+	}
+	if f.SnapshotInterval > 0 && f.CacheDir == "" {
+		return fmt.Errorf("-snapshot-interval requires -cache-dir")
+	}
+	if f.Prewarm != "" {
+		if _, _, _, err := ParsePrewarm(f.Prewarm); err != nil {
+			return fmt.Errorf("-prewarm: %w", err)
+		}
+	}
 	return nil
+}
+
+// ParsePrewarm splits a "topos:collectives:sizes" grid spec into its
+// three axes and validates every element with the same parsers the API
+// uses, so a bad grid fails at startup rather than silently skipping
+// prewarm items at runtime.
+func ParsePrewarm(spec string) (topos, cols, sizes []string, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, nil, nil, fmt.Errorf("grid %q must have 3 colon-separated parts (topos:collectives:sizes)", spec)
+	}
+	split := func(s string) []string {
+		var out []string
+		for _, e := range strings.Split(s, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	topos, cols, sizes = split(parts[0]), split(parts[1]), split(parts[2])
+	if len(topos) == 0 || len(cols) == 0 || len(sizes) == 0 {
+		return nil, nil, nil, fmt.Errorf("grid %q has an empty axis", spec)
+	}
+	for _, t := range topos {
+		if _, err := ParseTopology(t); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for _, c := range cols {
+		// Kind check only: the GPU count comes from the topology at sweep
+		// time, so validate against a small fixed one here.
+		if _, err := BuildCollective(c, 4, 1024); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for _, s := range sizes {
+		if _, err := ParseSize(s); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return topos, cols, sizes, nil
 }

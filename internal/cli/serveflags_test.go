@@ -78,10 +78,57 @@ func TestServeFlagsValidate(t *testing.T) {
 		{"-workers", "-1"},
 		{"-workers", "5000"},
 		{"-addr", ":8080", "-admin", ":8080"},
+		{"-snapshot-interval", "-1s"},
+		{"-snapshot-interval", "5s"}, // requires -cache-dir
+		{"-prewarm", "dgx4:allgather"},
+		{"-prewarm", "dgx4::1M"},
+		{"-prewarm", "nope:allgather:1M"},
+		{"-prewarm", "dgx4:frobnicate:1M"},
+		{"-prewarm", "dgx4:allgather:12Q"},
 	}
 	for _, args := range bad {
 		if _, err := parseServe(t, args...); err == nil {
 			t.Fatalf("args %v validated but should not", args)
 		}
+	}
+}
+
+func TestServeFlagsPersist(t *testing.T) {
+	f, err := parseServe(t,
+		"-cache-dir", "/tmp/syccl-cache",
+		"-snapshot-interval", "30s",
+		"-prewarm", "dgx4,server8:allgather,broadcast:1M,16M",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CacheDir != "/tmp/syccl-cache" || f.SnapshotInterval != 30*time.Second {
+		t.Fatalf("persist flags mismatch: %+v", f)
+	}
+	topos, cols, sizes, err := ParsePrewarm(f.Prewarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topos) != 2 || len(cols) != 2 || len(sizes) != 2 {
+		t.Fatalf("grid axes %v %v %v", topos, cols, sizes)
+	}
+	if topos[0] != "dgx4" || cols[1] != "broadcast" || sizes[1] != "16M" {
+		t.Fatalf("grid content %v %v %v", topos, cols, sizes)
+	}
+}
+
+func TestParsePrewarmTrimsAndRejectsEmpties(t *testing.T) {
+	topos, cols, sizes, err := ParsePrewarm(" dgx4 , server8 : allgather : 1M ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topos) != 2 || topos[1] != "server8" || cols[0] != "allgather" || sizes[0] != "1M" {
+		t.Fatalf("trim failed: %v %v %v", topos, cols, sizes)
+	}
+	if _, _, _, err := ParsePrewarm(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, _, _, err := ParsePrewarm(",,:allgather:1M"); err == nil {
+		t.Fatal("all-empty axis accepted")
 	}
 }

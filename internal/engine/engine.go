@@ -52,6 +52,14 @@ type Options struct {
 	// rounded up to a power of two (default 16). Isomorphic demands land
 	// in the same shard, so iso-fallback lookups stay shard-local.
 	Shards int
+	// Persist optionally backs the sub-schedule cache with a disk tier
+	// (internal/persist): LRU misses fall through to Persist.Load (the
+	// hit is promoted into the memory tier), and first-time stores are
+	// written through with Persist.Put. Solved symmetry classes thereby
+	// survive process restarts — a rebooted engine replays previously
+	// synthesized plans bit-identically with zero solver calls. Nil
+	// disables the tier.
+	Persist PersistTier
 	// Obs optionally receives the engine counters: engine.plans,
 	// engine.cancelled, engine.cache.{hits,misses,evictions},
 	// engine.sketch.{hits,misses}. Nil disables recording; Stats() is
@@ -79,6 +87,16 @@ func (o Options) withDefaults() Options {
 		o.Shards = 16
 	}
 	return o
+}
+
+// PersistTier is the disk tier behind the sub-schedule cache. Load
+// returns a stored solution for the demand (exact replay or iso-class
+// mapping onto it) or nil; Put stores a newly solved sub-schedule,
+// first write wins. Implementations must be safe for concurrent use.
+// *persist.Store satisfies this interface.
+type PersistTier interface {
+	Load(d *solve.Demand, sig string) *solve.SubSchedule
+	Put(d *solve.Demand, sig string, sub *solve.SubSchedule) error
 }
 
 // Stats is a snapshot of the engine's lifetime counters. The JSON field
@@ -109,6 +127,11 @@ type Stats struct {
 	BoundMisses  int64 `json:"bound_misses"`
 	BoundsPruned int64 `json:"bounds_pruned"`
 	BoundsProved int64 `json:"bounds_proved"`
+	// PersistHits / PersistMisses count disk-tier lookups (only demands
+	// that already missed the memory tier reach the disk tier, so these
+	// never double-count SolveHits).
+	PersistHits   int64 `json:"persist_hits"`
+	PersistMisses int64 `json:"persist_misses"`
 }
 
 // Engine is a long-lived, concurrency-safe planner. The zero value is not
@@ -122,19 +145,21 @@ type Engine struct {
 	bounds   boundLRU
 	mask     uint32
 
-	plans        atomic.Int64
-	cancelled    atomic.Int64
-	solveHits    atomic.Int64
-	solveMisses  atomic.Int64
-	exactHits    atomic.Int64
-	isoHits      atomic.Int64
-	evictions    atomic.Int64
-	sketchHits   atomic.Int64
-	sketchMisses atomic.Int64
-	boundHits    atomic.Int64
-	boundMisses  atomic.Int64
-	boundsPruned atomic.Int64
-	boundsProved atomic.Int64
+	plans         atomic.Int64
+	cancelled     atomic.Int64
+	solveHits     atomic.Int64
+	solveMisses   atomic.Int64
+	exactHits     atomic.Int64
+	isoHits       atomic.Int64
+	evictions     atomic.Int64
+	sketchHits    atomic.Int64
+	sketchMisses  atomic.Int64
+	boundHits     atomic.Int64
+	boundMisses   atomic.Int64
+	boundsPruned  atomic.Int64
+	boundsProved  atomic.Int64
+	persistHits   atomic.Int64
+	persistMisses atomic.Int64
 
 	// Labeled metric children, resolved once at construction so the cache
 	// hot paths pay a single nil-safe atomic add per event.
@@ -144,6 +169,7 @@ type Engine struct {
 	mBoundExact, mBoundIso, mBoundMiss      *obs.Counter
 	mEvictSolve, mEvictSketch, mEvictBound  *obs.Counter
 	mBoundPruned, mBoundKept, mBoundsProved *obs.Counter
+	mPersistHit, mPersistMiss               *obs.Counter
 }
 
 // New builds an Engine with the given options.
@@ -184,6 +210,8 @@ func New(opts Options) *Engine {
 	e.mBoundExact = lookups.With("bound", "exact")
 	e.mBoundIso = lookups.With("bound", "iso")
 	e.mBoundMiss = lookups.With("bound", "miss")
+	e.mPersistHit = lookups.With("persist", "hit")
+	e.mPersistMiss = lookups.With("persist", "miss")
 	evict := opts.Metrics.Counter("syccl_engine_cache_evictions_total",
 		"LRU evictions by cache.", "cache")
 	e.mEvictSolve = evict.With("solve")
@@ -251,19 +279,21 @@ func (e *Engine) Plan(ctx context.Context, top *topology.Topology, col *collecti
 // Stats returns a snapshot of the engine's lifetime counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Plans:        e.plans.Load(),
-		Cancelled:    e.cancelled.Load(),
-		SolveHits:    e.solveHits.Load(),
-		SolveMisses:  e.solveMisses.Load(),
-		ExactHits:    e.exactHits.Load(),
-		IsoHits:      e.isoHits.Load(),
-		Evictions:    e.evictions.Load(),
-		SketchHits:   e.sketchHits.Load(),
-		SketchMisses: e.sketchMisses.Load(),
-		BoundHits:    e.boundHits.Load(),
-		BoundMisses:  e.boundMisses.Load(),
-		BoundsPruned: e.boundsPruned.Load(),
-		BoundsProved: e.boundsProved.Load(),
+		Plans:         e.plans.Load(),
+		Cancelled:     e.cancelled.Load(),
+		SolveHits:     e.solveHits.Load(),
+		SolveMisses:   e.solveMisses.Load(),
+		ExactHits:     e.exactHits.Load(),
+		IsoHits:       e.isoHits.Load(),
+		Evictions:     e.evictions.Load(),
+		SketchHits:    e.sketchHits.Load(),
+		SketchMisses:  e.sketchMisses.Load(),
+		BoundHits:     e.boundHits.Load(),
+		BoundMisses:   e.boundMisses.Load(),
+		BoundsPruned:  e.boundsPruned.Load(),
+		BoundsProved:  e.boundsProved.Load(),
+		PersistHits:   e.persistHits.Load(),
+		PersistMisses: e.persistMisses.Load(),
 	}
 }
 
@@ -314,6 +344,35 @@ func (a solveCacheAdapter) Lookup(d *solve.Demand, sig string) *solve.SubSchedul
 	e := a.e
 	exact := isomorph.ExactKey(d) + "|" + sig
 	iso := isomorph.Key(d) + "|" + sig
+	if sub := e.memLookup(d, exact, iso); sub != nil {
+		return sub
+	}
+	// Memory miss: consult the disk tier (outside any shard lock — disk
+	// reads must not serialize unrelated lookups).
+	if e.opts.Persist != nil {
+		if sub := e.opts.Persist.Load(d, sig); sub != nil {
+			e.persistHits.Add(1)
+			e.count("engine.persist.hits", 1)
+			e.mPersistHit.Inc()
+			// Promote into the memory tier. No write-back: the bytes just
+			// came from disk (or from an iso sibling already on disk).
+			e.memInsert(d, exact, iso, sub)
+			return sub
+		}
+		e.persistMisses.Add(1)
+		e.count("engine.persist.misses", 1)
+		e.mPersistMiss.Inc()
+	}
+	e.solveMisses.Add(1)
+	e.count("engine.cache.misses", 1)
+	e.mSolveMiss.Inc()
+	return nil
+}
+
+// memLookup probes the in-memory solve LRU (exact, then iso-class) and
+// counts hits; misses are not counted here so the persist tier can be
+// consulted before the lookup is declared a miss.
+func (e *Engine) memLookup(d *solve.Demand, exact, iso string) *solve.SubSchedule {
 	s := &e.shards[hashKey(iso)&e.mask]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -336,9 +395,6 @@ func (a solveCacheAdapter) Lookup(d *solve.Demand, sig string) *solve.SubSchedul
 			return isomorph.MapSchedule(ent.sub, *m)
 		}
 	}
-	e.solveMisses.Add(1)
-	e.count("engine.cache.misses", 1)
-	e.mSolveMiss.Inc()
 	return nil
 }
 
@@ -346,14 +402,29 @@ func (a solveCacheAdapter) Store(d *solve.Demand, sig string, sub *solve.SubSche
 	e := a.e
 	exact := isomorph.ExactKey(d) + "|" + sig
 	iso := isomorph.Key(d) + "|" + sig
+	if !e.memInsert(d, exact, iso, sub) {
+		// First write won in memory; the disk tier enforces the same
+		// rule, so nothing to write through.
+		return
+	}
+	if e.opts.Persist != nil {
+		// Write-through, outside the shard lock. A failed disk write
+		// (full disk, permissions) degrades durability, never planning.
+		_ = e.opts.Persist.Put(d, sig, sub)
+	}
+}
+
+// memInsert adds a solved sub-schedule to the in-memory LRU, evicting
+// as needed. Returns false when the exact key was already present
+// (first write wins: replaying a stored solution must stay
+// bit-identical, so a concurrent duplicate store is dropped).
+func (e *Engine) memInsert(d *solve.Demand, exact, iso string, sub *solve.SubSchedule) bool {
 	s := &e.shards[hashKey(iso)&e.mask]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if ent, ok := s.byExact[exact]; ok {
-		// First write wins: replaying a stored solution must stay
-		// bit-identical, so a concurrent duplicate store is dropped.
 		s.lru.MoveToFront(ent.elem)
-		return
+		return false
 	}
 	ent := &solveEntry{
 		exactKey: exact,
@@ -385,6 +456,7 @@ func (a solveCacheAdapter) Store(d *solve.Demand, sig string, sub *solve.SubSche
 		e.count("engine.cache.evictions", 1)
 		e.mEvictSolve.Inc()
 	}
+	return true
 }
 
 func cloneDemand(d *solve.Demand) *solve.Demand {

@@ -1,0 +1,158 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"syccl/internal/solve"
+)
+
+func sampleEntry() *Entry {
+	d := &solve.Demand{
+		NumGPUs: 4, Alpha: 1e-6, Beta: 5e-12,
+		Pieces: []solve.Piece{
+			{ID: 0, Bytes: 1 << 18, Srcs: []int{0}, Dsts: []int{1, 2, 3}},
+			{ID: 7, Bytes: 1 << 10, Srcs: []int{2, 3}, Dsts: []int{0}},
+		},
+	}
+	sub := &solve.SubSchedule{
+		Engine: "exact", Epochs: 5, Tau: 2.5e-6,
+		Transfers: []solve.Transfer{
+			{Src: 0, Dst: 1, Piece: 0, Start: 0, Arrive: 2},
+			{Src: 1, Dst: 2, Piece: 0, Start: 2, Arrive: 4},
+			{Src: 3, Dst: 0, Piece: 1, Start: 0, Arrive: 1},
+		},
+	}
+	return &Entry{ExactKey: "exact-key|sig", IsoKey: "iso-key|sig", Demand: d, Sub: sub}
+}
+
+// The entry codec must round-trip in both directions: decode(encode(e))
+// reproduces the entry, and encode(decode(b)) reproduces the bytes.
+func TestEntryRoundTrip(t *testing.T) {
+	e := sampleEntry()
+	data := EncodeEntry(e)
+	got, err := DecodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", e, got)
+	}
+	if !bytes.Equal(EncodeEntry(got), data) {
+		t.Fatal("re-encoding a decoded entry changed the bytes (encoding not canonical)")
+	}
+}
+
+// Special float bit patterns must survive the trip exactly.
+func TestEntryFloatBitPatterns(t *testing.T) {
+	e := sampleEntry()
+	e.Demand.Alpha = math.Float64frombits(0x7ff8000000000001) // a NaN payload
+	e.Demand.Beta = math.SmallestNonzeroFloat64
+	e.Sub.Tau = math.MaxFloat64
+	got, err := DecodeEntry(EncodeEntry(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Demand.Alpha) != math.Float64bits(e.Demand.Alpha) ||
+		got.Demand.Beta != e.Demand.Beta || got.Sub.Tau != e.Sub.Tau {
+		t.Fatal("float bit patterns not preserved")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	data := EncodeManifest("fp-abc")
+	fp, err := DecodeManifest(data)
+	if err != nil || fp != "fp-abc" {
+		t.Fatalf("manifest round-trip: %q, %v", fp, err)
+	}
+	if !bytes.Equal(EncodeManifest(fp), data) {
+		t.Fatal("manifest encoding not canonical")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	payload := []byte(`{"entries":[]}`)
+	got, err := DecodeSnapshot(EncodeSnapshot(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("snapshot round-trip: %q, %v", got, err)
+	}
+}
+
+// Every strict prefix of a valid container must fail to decode: a torn
+// write can never read as a shorter-but-valid entry.
+func TestEntryTruncationAlwaysDetected(t *testing.T) {
+	data := EncodeEntry(sampleEntry())
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeEntry(data[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded successfully", n, len(data))
+		}
+	}
+}
+
+// Every single-byte flip must fail the checksum (or, for flips inside
+// the version field that survive checksum — impossible, the checksum
+// covers it — ErrVersion). No flip may decode cleanly.
+func TestEntryBitFlipAlwaysDetected(t *testing.T) {
+	data := EncodeEntry(sampleEntry())
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x41
+		if _, err := DecodeEntry(mut); err == nil {
+			t.Fatalf("byte flip at offset %d decoded successfully", i)
+		}
+	}
+}
+
+// Trailing garbage after a valid container must be rejected.
+func TestTrailingBytesRejected(t *testing.T) {
+	data := append(EncodeEntry(sampleEntry()), 0x00)
+	if _, err := DecodeEntry(data); err == nil {
+		t.Fatal("container with trailing byte decoded successfully")
+	}
+}
+
+// A container written by a different format version must surface as
+// ErrVersion (checksum recomputed so only the version differs).
+func TestVersionMismatchIsErrVersion(t *testing.T) {
+	data := EncodeEntry(sampleEntry())
+	mut := append([]byte(nil), data[:len(data)-checksumSize]...)
+	binary.LittleEndian.PutUint16(mut[4:6], FormatVersion+1)
+	sum := sha256.Sum256(mut)
+	mut = append(mut, sum[:]...)
+	_, err := DecodeEntry(mut)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+// Kind confusion: a manifest must not decode as an entry or snapshot.
+func TestKindConfusionRejected(t *testing.T) {
+	man := EncodeManifest("fp")
+	if _, err := DecodeEntry(man); err == nil {
+		t.Fatal("manifest decoded as entry")
+	}
+	if _, err := DecodeSnapshot(man); err == nil {
+		t.Fatal("manifest decoded as snapshot")
+	}
+}
+
+// A hostile element count larger than the payload could hold must be
+// rejected without attempting the allocation.
+func TestHostileCountRejected(t *testing.T) {
+	var w wbuf
+	w.str("k")
+	w.str("i")
+	w.i64(2)
+	w.f64(1)
+	w.f64(1)
+	w.u32(0xffffffff) // pieces "count"
+	data := encodeContainer(kindEntry, w.b)
+	if _, err := DecodeEntry(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

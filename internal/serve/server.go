@@ -44,8 +44,8 @@ import (
 	"time"
 
 	"syccl/internal/engine"
-	"syccl/internal/metrics"
 	"syccl/internal/obs"
+	"syccl/internal/persist"
 )
 
 // Defaults for Options zero values.
@@ -98,6 +98,21 @@ type Options struct {
 	// windows (defaults 256 / 32).
 	RecentRequests int
 	SlowRequests   int
+	// Persist, when non-nil, is the disk tier shared by the engine (solve
+	// entries, written through as they are solved) and the schedule store
+	// (flushed as a snapshot, restored before the listener comes up). A
+	// rebooted daemon on the same directory replays previously served
+	// requests from the store with zero solver calls. When Engine is also
+	// nil, the engine built here gets Persist as its disk tier.
+	Persist *persist.Store
+	// SnapshotInterval flushes the schedule store to the persist snapshot
+	// periodically (0 = only at the end of Drain). Ignored without
+	// Persist.
+	SnapshotInterval time.Duration
+	// Prewarm lists synthesis requests the server plans in the background
+	// after boot, using idle capacity only, to populate the stores before
+	// real traffic arrives. Typically built with PrewarmGrid.
+	Prewarm []Request
 }
 
 func (o Options) withDefaults() Options {
@@ -124,9 +139,18 @@ func (o Options) withDefaults() Options {
 		o.Metrics = obs.NewRegistry()
 	}
 	if o.Engine == nil {
-		o.Engine = engine.New(engine.Options{Obs: o.Obs, Metrics: o.Metrics})
+		o.Engine = engine.New(engine.Options{Obs: o.Obs, Metrics: o.Metrics, Persist: persistTier(o.Persist)})
 	}
 	return o
+}
+
+// persistTier adapts the optional store to the engine option without
+// handing the engine a typed-nil interface.
+func persistTier(p *persist.Store) engine.PersistTier {
+	if p == nil {
+		return nil
+	}
+	return p
 }
 
 // SynthesizeResponse is the body of POST /v1/synthesize (200/206) and
@@ -171,6 +195,11 @@ type ServerStats struct {
 	InFlight        int64 `json:"in_flight"`
 	Flights         int   `json:"flights"`
 	Draining        bool  `json:"draining"`
+	// Restored counts schedule-store entries recovered from the persist
+	// snapshot at boot; Prewarmed counts background prewarm plans that
+	// landed in the store.
+	Restored  int64 `json:"restored"`
+	Prewarmed int64 `json:"prewarmed"`
 }
 
 // StatsSnapshot is the body of GET /statsz.
@@ -195,6 +224,11 @@ type Server struct {
 	alog *accessLogger
 	ids  *requestIDs
 
+	// persist is the optional disk tier; bgCancel stops the snapshot and
+	// prewarm loops (both counted in bgFlight) when the server drains.
+	persist  *persist.Store
+	bgCancel context.CancelFunc
+
 	draining atomic.Bool
 	// inFlight counts accepted HTTP requests; bgFlights counts leader
 	// solve goroutines. Drain waits for both to hit zero.
@@ -208,6 +242,8 @@ type Server struct {
 	rejections     atomic.Int64
 	partials       atomic.Int64
 	errs           atomic.Int64
+	restored       atomic.Int64
+	prewarmed      atomic.Int64
 }
 
 // New builds a Server.
@@ -224,6 +260,23 @@ func New(opts Options) *Server {
 		frec:    newFlightRecorder(opts.RecentRequests, opts.SlowRequests),
 		alog:    newAccessLogger(opts.AccessLog),
 		ids:     newRequestIDs(),
+		persist: opts.Persist,
+	}
+	bgCtx, bgCancel := context.WithCancel(context.Background())
+	s.bgCancel = bgCancel
+	if s.persist != nil {
+		// Bind before restore so the restore's snapshot load is counted,
+		// then warm the schedule store before the first request can land.
+		s.persist.BindMetrics(opts.Metrics)
+		s.restoreScheduleStore()
+		if opts.SnapshotInterval > 0 {
+			s.bgFlight.Add(1)
+			go s.snapshotLoop(bgCtx, opts.SnapshotInterval)
+		}
+	}
+	if len(opts.Prewarm) > 0 {
+		s.bgFlight.Add(1)
+		go s.prewarmLoop(bgCtx)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
@@ -326,6 +379,8 @@ func (s *Server) Stats() StatsSnapshot {
 			InFlight:        s.inFlight.Load(),
 			Flights:         s.flights.len(),
 			Draining:        s.draining.Load(),
+			Restored:        s.restored.Load(),
+			Prewarmed:       s.prewarmed.Load(),
 		},
 		Engine: s.eng.Stats(),
 	}
@@ -537,20 +592,7 @@ func (s *Server) runFlight(f *flight, res *resolved) {
 		return
 	}
 
-	col := res.col
-	bus := metrics.BusBandwidth(col.Kind, col.NumGPUs, metrics.DataBytes(col), result.Time)
-	resp := SynthesizeResponse{
-		ID:             res.id,
-		Topology:       strings.ToLower(res.req.Topology),
-		Collective:     col.Kind.String(),
-		NumGPUs:        col.NumGPUs,
-		SizeBytes:      metrics.DataBytes(col),
-		PredictedTimeS: result.Time,
-		BusBWGBps:      bus / 1e9,
-		Transfers:      len(result.Schedule.Transfers),
-		SolverCalls:    result.Stats.SolverCalls,
-		Partial:        result.Partial,
-	}
+	resp := s.buildResponse(res, result)
 	f.sched = result.Schedule
 	f.status = http.StatusOK
 	// Engine-warm (every sub-demand from cache) vs a genuine cold solve.
@@ -671,6 +713,9 @@ func (s *Server) Drain(ctx context.Context) {
 	s.draining.Store(true)
 	s.rec.Gauge("serve.draining", 1)
 	s.met.draining.Set(1)
+	// Stop the snapshot and prewarm loops; Drain waits for them through
+	// bgFlight and takes the final snapshot itself below.
+	s.bgCancel()
 
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
@@ -685,6 +730,9 @@ func (s *Server) Drain(ctx context.Context) {
 		case <-tick.C:
 		}
 	}
+
+	// Final snapshot: everything served this run warm-boots the next one.
+	_ = s.SnapshotNow()
 
 	// Flush: record the final counter values so an exported trace or
 	// summary taken after shutdown reflects the whole run.

@@ -71,3 +71,16 @@ func (st *scheduleStore) len() int {
 	defer st.mu.Unlock()
 	return st.lru.Len()
 }
+
+// export snapshots the entries oldest-first, so a restore that put()s
+// them in order reproduces the LRU recency order. The returned entries
+// alias the live schedules; callers only read them.
+func (st *scheduleStore) export() []*storeEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*storeEntry, 0, st.lru.Len())
+	for e := st.lru.Back(); e != nil; e = e.Prev() {
+		out = append(out, e.Value.(*storeEntry))
+	}
+	return out
+}

@@ -36,6 +36,8 @@ type serveMetrics struct {
 	duration *obs.HistogramVec // syccl_request_duration_seconds{collective,topology,cache}
 	solveDur *obs.HistogramVec // syccl_solve_duration_seconds{collective,topology}
 
+	prewarm *obs.CounterVec // syccl_prewarm_total{result}
+
 	queueWait *obs.Histogram // syccl_queue_wait_seconds
 
 	inflight  *obs.Gauge // syccl_inflight_requests
@@ -69,6 +71,8 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	m.solveDur = reg.Histogram("syccl_solve_duration_seconds",
 		"Engine planning time per leader flight.", obs.LatencyBuckets,
 		"collective", "topology")
+	m.prewarm = reg.Counter("syccl_prewarm_total",
+		"Background prewarm sweep outcomes.", "result")
 	m.queueWait = reg.Histogram("syccl_queue_wait_seconds",
 		"Time flights spend waiting for an admission slot.", obs.LatencyBuckets).With()
 

@@ -160,7 +160,7 @@ var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? ([0-9.
 // Prometheus text exposition, with request counters labeled by
 // workload, cache tier, and outcome.
 func TestMetricsExposition(t *testing.T) {
-	s := New(Options{})
+	s := New(Options{Persist: openStore(t, t.TempDir())})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -195,6 +195,18 @@ func TestMetricsExposition(t *testing.T) {
 		`syccl_solver_bounds_total{result="pruned"}`,
 		`syccl_solver_bounds_total{result="kept"}`,
 		`syccl_solver_bounds_total{result="proved_optimal"}`,
+		// Persist tier: the cold solve misses the disk tier, then writes
+		// every solved sub-demand through to it.
+		"# TYPE syccl_persist_loads_total counter",
+		"# TYPE syccl_persist_stores_total counter",
+		"# TYPE syccl_persist_corrupt_total counter",
+		"# TYPE syccl_persist_snapshots_total counter",
+		"# TYPE syccl_persist_entries gauge",
+		"# TYPE syccl_persist_bytes gauge",
+		"# TYPE syccl_prewarm_total counter",
+		`syccl_persist_loads_total{result="miss"}`,
+		`syccl_persist_stores_total{result="written"}`,
+		`syccl_engine_cache_lookups_total{cache="persist",result="miss"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)
@@ -218,7 +230,8 @@ func TestMetricsExposition(t *testing.T) {
 // the naming contract — syccl_ prefix, lowercase, counters end _total,
 // histograms end in a unit suffix, and labels come from the known set.
 func TestMetricNameLint(t *testing.T) {
-	s := New(Options{})
+	// Persist enabled so the syccl_persist_* families are linted too.
+	s := New(Options{Persist: openStore(t, t.TempDir())})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	drainBody(t, postSynthesize(t, ts.URL, `{"topology":"dgx4","collective":"allgather","size":"1M"}`))
@@ -226,7 +239,7 @@ func TestMetricNameLint(t *testing.T) {
 	nameRE := regexp.MustCompile(`^syccl_[a-z0-9_]+$`)
 	knownLabels := map[string]bool{
 		"collective": true, "topology": true, "cache": true,
-		"outcome": true, "result": true,
+		"outcome": true, "result": true, "kind": true,
 	}
 	fams := s.Metrics().Families()
 	if len(fams) < 10 {

@@ -25,14 +25,15 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core/engine/milp/obs/serve/sim/solve/verify shard) =="
-go test -race ./internal/core/ ./internal/engine/ ./internal/milp/ ./internal/obs/ ./internal/serve/ ./internal/sim/ ./internal/solve/ ./internal/verify/
+echo "== go test -race (core/engine/milp/obs/persist/serve/sim/solve/verify shard) =="
+go test -race ./internal/core/ ./internal/engine/ ./internal/milp/ ./internal/obs/ ./internal/persist/ ./internal/serve/ ./internal/sim/ ./internal/solve/ ./internal/verify/
 
 echo "== fuzz smoke ($FUZZTIME per target) =="
 go test ./internal/verify/ -run='^$' -fuzz='^FuzzValidate$' -fuzztime="$FUZZTIME"
 go test ./internal/verify/ -run='^$' -fuzz='^FuzzSimParity$' -fuzztime="$FUZZTIME"
 go test ./internal/serve/ -run='^$' -fuzz='^FuzzDecodeRequest$' -fuzztime="$FUZZTIME"
 go test ./internal/solve/ -run='^$' -fuzz='^FuzzFlowRound$' -fuzztime="$FUZZTIME"
+go test ./internal/persist/ -run='^$' -fuzz='^FuzzPersistDecode$' -fuzztime="$FUZZTIME"
 
 echo "== bench smoke =="
 # One short sample per solver benchmark (writes to a temp file, not

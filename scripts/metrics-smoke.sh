@@ -3,7 +3,10 @@
 # asserts the /metrics exposition is well-formed and complete —
 # required families present, every sample line parseable, no label
 # drift on the request counters — and that the request's id resolves
-# through the flight recorder. Run from anywhere; used by ci.sh.
+# through the flight recorder. Finishes with a warm-reboot phase:
+# SIGTERM the daemon, boot a second one on the same -cache-dir, and
+# assert the replay is served from the restored store with an identical
+# schedule. Run from anywhere; used by ci.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +20,7 @@ trap 'kill "$daemon_pid" 2>/dev/null || true; wait "$daemon_pid" 2>/dev/null || 
 
 go build -o "$workdir/syccl-serve" ./cmd/syccl-serve
 "$workdir/syccl-serve" -addr "127.0.0.1:$PORT" -admin "127.0.0.1:$ADMIN_PORT" \
+    -cache-dir "$workdir/cache" \
     -access-log "$workdir/access.log" >"$workdir/daemon.log" 2>&1 &
 daemon_pid=$!
 
@@ -28,7 +32,7 @@ curl -fsS "$BASE/healthz" >/dev/null || { echo "daemon never came up"; cat "$wor
 
 echo "== drive one synthesis =="
 req_id=$(curl -fsS -D - -o "$workdir/resp.json" "$BASE/v1/synthesize" \
-    -d '{"topology":"dgx4","collective":"allgather","size":"1M"}' \
+    -d '{"topology":"dgx4","collective":"allgather","size":"1M","include_schedule":true}' \
     | tr -d '\r' | awk 'tolower($1)=="x-syccl-request:"{print $2}')
 [ -n "$req_id" ] || { echo "FAIL: no X-Syccl-Request header"; exit 1; }
 echo "request id: $req_id"
@@ -54,7 +58,14 @@ for fam in \
     syccl_engine_plans_total \
     syccl_engine_cache_lookups_total \
     syccl_engine_cache_evictions_total \
-    syccl_solver_bounds_total
+    syccl_solver_bounds_total \
+    syccl_persist_loads_total \
+    syccl_persist_stores_total \
+    syccl_persist_corrupt_total \
+    syccl_persist_snapshots_total \
+    syccl_persist_entries \
+    syccl_persist_bytes \
+    syccl_prewarm_total
 do
     grep -q "^# TYPE $fam " "$workdir/metrics.txt" || { echo "FAIL: family $fam missing"; exit 1; }
 done
@@ -81,6 +92,18 @@ grep -q '^syccl_requests_total{collective="allgather",topology="dgx4",cache="col
     || { echo "FAIL: cold request not counted"; exit 1; }
 echo "ok"
 
+echo "-- no label drift on persist counters --"
+pdrift=$(grep -E '^syccl_persist_[a-z_]+\{' "$workdir/metrics.txt" \
+    | sed 's/^[^{]*{//; s/}.*//' | tr ',' '\n' | sed 's/=.*//' | sort -u \
+    | grep -Ev '^(result|kind)$' || true)
+if [ -n "$pdrift" ]; then
+    echo "FAIL: unknown labels on syccl_persist_*: $pdrift"; exit 1
+fi
+# The cold solve wrote its sub-schedules through to disk.
+grep -q '^syccl_persist_stores_total{result="written"} [1-9]' "$workdir/metrics.txt" \
+    || { echo "FAIL: persist write-through not counted"; exit 1; }
+echo "ok"
+
 echo "== flight recorder =="
 curl -fsS "$BASE/debug/requests/$req_id" > "$workdir/record.json"
 grep -q '"serve.plan"' "$workdir/record.json" || { echo "FAIL: record has no span tree"; exit 1; }
@@ -100,6 +123,45 @@ echo "ok"
 echo "== access log =="
 [ -s "$workdir/access.log" ] || { echo "FAIL: access log empty"; exit 1; }
 grep -q "\"id\":\"$req_id\"" "$workdir/access.log" || { echo "FAIL: request id not logged"; exit 1; }
+echo "ok"
+
+echo "== warm reboot (SIGTERM, second daemon on same -cache-dir) =="
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+[ -f "$workdir/cache/snapshots/schedule-store.snap" ] \
+    || { echo "FAIL: drain wrote no schedule-store snapshot"; exit 1; }
+
+"$workdir/syccl-serve" -addr "127.0.0.1:$PORT" -admin "127.0.0.1:$ADMIN_PORT" \
+    -cache-dir "$workdir/cache" >"$workdir/daemon2.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null || { echo "daemon2 never came up"; cat "$workdir/daemon2.log"; exit 1; }
+
+curl -fsS "$BASE/statsz" > "$workdir/statsz2.json"
+grep -q '"restored":0' "$workdir/statsz2.json" \
+    && { echo "FAIL: second boot restored nothing from the snapshot"; exit 1; }
+
+curl -fsS -o "$workdir/resp2.json" "$BASE/v1/synthesize" \
+    -d '{"topology":"dgx4","collective":"allgather","size":"1M","include_schedule":true}'
+grep -q '"cached":true' "$workdir/resp2.json" \
+    || { echo "FAIL: rebooted daemon did not serve from the restored store"; exit 1; }
+# Bit-identical replay: the schedule payloads must match byte for byte.
+sed 's/.*"schedule"://' "$workdir/resp.json"  > "$workdir/sched1.json"
+sed 's/.*"schedule"://' "$workdir/resp2.json" > "$workdir/sched2.json"
+cmp -s "$workdir/sched1.json" "$workdir/sched2.json" \
+    || { echo "FAIL: restored schedule differs from the original"; exit 1; }
+
+curl -fsS "$BASE/metrics" > "$workdir/metrics2.txt"
+grep -q '^syccl_requests_total{collective="allgather",topology="dgx4",cache="store",outcome="ok"} 1$' "$workdir/metrics2.txt" \
+    || { echo "FAIL: warm-boot hit not counted as cache=store"; exit 1; }
+grep -q '^syccl_persist_snapshots_total{result="restored"} 1$' "$workdir/metrics2.txt" \
+    || { echo "FAIL: snapshot restore not counted"; exit 1; }
+# The store answered before the engine: zero plans on the new daemon.
+grep -q '^syccl_engine_plans_total{outcome="ok"} 0$' "$workdir/metrics2.txt" \
+    || { echo "FAIL: warm-boot replay still ran an engine plan"; exit 1; }
 echo "ok"
 
 kill "$daemon_pid"
