@@ -28,6 +28,7 @@ func main() {
 		coll        = flag.String("coll", "allgather", "collective kind")
 		size        = flag.String("size", "1M", "aggregate data size")
 		cold        = flag.Int("cold", 16, "distinct-demand requests (each a genuine synthesis)")
+		stream      = flag.Int("stream", 16, "stream:true cold requests timed to their first incumbent event (0 = skip)")
 		warm        = flag.Int("warm", 128, "duplicate requests after the store is primed")
 		concurrency = flag.Int("concurrency", 8, "client goroutines per phase")
 		timeoutMS   = flag.Int64("timeout-ms", 0, "per-request deadline forwarded to the daemon (0 = server default)")
@@ -58,6 +59,7 @@ func main() {
 		Collective:  *coll,
 		Size:        *size,
 		Cold:        *cold,
+		Stream:      *stream,
 		Warm:        *warm,
 		Concurrency: *concurrency,
 		TimeoutMS:   *timeoutMS,
@@ -77,6 +79,10 @@ func main() {
 	fmt.Printf("hist (bucket-estimated): cold p50/p90/p99/p999 %.0f/%.0f/%.0f/%.0fus | warm p50/p90/p99/p999 %.0f/%.0f/%.0f/%.0fus\n",
 		report.Cold.Hist.P50us, report.Cold.Hist.P90us, report.Cold.Hist.P99us, report.Cold.Hist.P999us,
 		report.Warm.Hist.P50us, report.Warm.Hist.P90us, report.Warm.Hist.P99us, report.Warm.Hist.P999us)
+	if report.TTFI.Count > 0 {
+		fmt.Printf("stream ttfi p50 %.0fus p99 %.0fus over %d streams\n",
+			report.TTFI.P50us, report.TTFI.P99us, report.TTFI.Count)
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			fail(err)

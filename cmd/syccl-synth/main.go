@@ -66,7 +66,26 @@ func main() {
 			fail(err)
 		}
 		eng := engine.New(engine.Options{Obs: rec})
-		res, err := eng.Plan(ctx, top, col, core.Options{E1: opts.E1, E2: opts.E2, Workers: opts.Workers, Seed: opts.Seed, SolverMode: mode, Obs: rec})
+		copts := core.Options{
+			E1: opts.E1, E2: opts.E2, Workers: opts.Workers, Seed: opts.Seed,
+			SolverMode: mode, Obs: rec,
+			Hint:       opts.Hint(),
+			StopWithin: opts.StopWithin / 100,
+		}
+		var onInc func(core.Incumbent)
+		if opts.Stream {
+			onInc = func(inc core.Incumbent) {
+				line := fmt.Sprintf("incumbent #%d: %.4gs source=%s", inc.Seq, inc.Time, inc.Source)
+				if inc.Engine != "" {
+					line += " engine=" + inc.Engine
+				}
+				if inc.Bound > 0 {
+					line += fmt.Sprintf(" bound=%.4gs (%.1f%% above)", inc.Bound, 100*(inc.Time/inc.Bound-1))
+				}
+				fmt.Printf("%s (+%v)\n", line, time.Since(start).Round(time.Millisecond))
+			}
+		}
+		res, err := eng.SynthesizeStream(ctx, top, col, copts, onInc)
 		if err != nil {
 			fail(err)
 		}
@@ -81,6 +100,9 @@ func main() {
 		}
 		for _, e := range res.Stats.SolveErrors {
 			fmt.Fprintln(os.Stderr, "syccl-synth: solver:", e)
+		}
+		if res.Stats.StoppedEarly {
+			fmt.Printf("note: -stop-within %g%% satisfied; skipped the fine pass\n", opts.StopWithin)
 		}
 		if res.Partial {
 			fmt.Printf("note: -timeout %v expired mid-synthesis; reporting the best schedule found so far\n", opts.Timeout)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"syccl/internal/collective"
+	"syccl/internal/sketch"
 	"syccl/internal/topology"
 )
 
@@ -27,6 +28,12 @@ type SynthFlags struct {
 	Explain    bool
 	TracePath  string
 	Summary    bool
+	Sketch     string
+	Stream     bool
+	StopWithin float64
+
+	// hint is the parsed -sketch value, populated by Resolve.
+	hint *sketch.Hint
 }
 
 // NewSynthFlags registers syccl-synth's flags (including the -coll alias
@@ -49,8 +56,15 @@ func NewSynthFlags(fs *flag.FlagSet) *SynthFlags {
 	fs.BoolVar(&f.Explain, "explain", false, "print the winning sketch combination in the paper's notation (syccl only)")
 	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace of the synthesis run (open in Perfetto)")
 	fs.BoolVar(&f.Summary, "obs-summary", false, "print a span/counter summary of the run")
+	fs.StringVar(&f.Sketch, "sketch", "", `sketch hint constraining the search, e.g. "dims=1,0;sizes=4,2;family=tree" (syccl only)`)
+	fs.BoolVar(&f.Stream, "stream", false, "print each improving incumbent schedule as it is found (syccl only)")
+	fs.Float64Var(&f.StopWithin, "stop-within", 0, "stop once the incumbent is within this percentage of the flow lower bound, e.g. 5 (0 = run to completion; syccl only)")
 	return f
 }
+
+// Hint returns the sketch hint parsed from -sketch by Resolve (nil when
+// the flag was empty).
+func (f *SynthFlags) Hint() *sketch.Hint { return f.hint }
 
 // Resolve turns the parsed flag values into a topology and collective,
 // surfacing the unknown-topology / bad-size / unknown-collective errors.
@@ -77,6 +91,19 @@ func (f *SynthFlags) Resolve() (*topology.Topology, *collective.Collective, erro
 	default:
 		return nil, nil, fmt.Errorf("unknown solver mode %q (want auto, exact, or flow)", f.Solver)
 	}
+	if f.StopWithin < 0 || f.StopWithin > 100 {
+		return nil, nil, fmt.Errorf("-stop-within %g out of range [0,100]", f.StopWithin)
+	}
+	hint, err := sketch.ParseHint(f.Sketch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if hint != nil {
+		if err := hint.Validate(top.NumDims()); err != nil {
+			return nil, nil, err
+		}
+	}
+	f.hint = hint
 	return top, col, nil
 }
 

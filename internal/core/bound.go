@@ -140,9 +140,11 @@ func candidateTimeBound(ctx context.Context, top *topology.Topology, col *collec
 // proves it cannot beat the incumbent's coarse simulated time, and
 // reports whether the incumbent's optimality is proved (its own bound
 // met and no rival left). keep must be sorted by ascending time with at
-// least one entry; the returned slice preserves order.
+// least one entry; the returned slice preserves order. The incumbent's
+// own lower bound is returned (0 when unavailable) for the StopWithin
+// gate and for incumbent-stream events.
 func pruneByBound(ctx context.Context, top *topology.Topology, col *collective.Collective,
-	keep []*candidate, opts Options, stats *Stats, parent *obs.Span) ([]*candidate, bool) {
+	keep []*candidate, opts Options, stats *Stats, parent *obs.Span) ([]*candidate, bool, float64) {
 
 	bs := parent.Child("solve.bound")
 	defer bs.End()
@@ -171,5 +173,5 @@ func pruneByBound(ctx context.Context, top *topology.Topology, col *collective.C
 	if proved {
 		bs.SetStr("outcome", "proved-optimal")
 	}
-	return kept, proved
+	return kept, proved, incLB
 }

@@ -89,6 +89,62 @@ type Options struct {
 	// (internal/engine owns the implementation), so warm requests prune
 	// candidates without re-solving the bound LPs. Nil disables reuse.
 	BoundCache BoundCache
+	// OnIncumbent, when non-nil, receives every incumbent the pipeline
+	// publishes: a fully validated schedule for the requested collective
+	// that strictly beats every previously published one. Calls are
+	// serialized (never concurrent) but may come from worker goroutines,
+	// so the callback must be fast and must not call back into the
+	// synthesizer. The stream is opportunistic — which intermediate
+	// incumbents appear can vary run to run with Workers — but each
+	// published Time strictly decreases, and the synthesis result itself
+	// stays byte-identical: publication never influences candidate
+	// selection. No final event is emitted; the returned Result is the
+	// final incumbent (its Time is ≤ the last published one).
+	OnIncumbent func(Incumbent)
+	// Hint optionally constrains the sketch search (TACCL-style
+	// communication sketches): dimension order, per-stage group sizes,
+	// algorithm family. withDefaults folds it into Search.Hint; it is
+	// validated against the topology before search. Hinted runs use
+	// distinct solve/sketch cache signatures (see Hint.Canonical), so
+	// hinted and unhinted plans never collide in shared caches.
+	Hint *sketch.Hint
+	// StopWithin, when positive, enables early termination at the
+	// coarse/fine boundary: if the coarse incumbent's simulated time is
+	// within StopWithin (relative, e.g. 0.05 = 5%) of its flow lower
+	// bound, the fine pass is skipped and the coarse schedule returned
+	// with Stats.StoppedEarly set. The check runs at a deterministic
+	// pipeline boundary, so results remain byte-identical across Workers.
+	// No-op under SolverExact (no flow bounds are computed).
+	StopWithin float64
+}
+
+// Incumbent is one published best-so-far schedule: a complete, validated
+// schedule for the requested collective together with its provenance.
+// Streamed through Options.OnIncumbent.
+type Incumbent struct {
+	// Schedule is fully validated against the requested collective (for
+	// mirrored and AllReduce collectives it is the finished mirrored or
+	// concatenated schedule, not the internal forward one).
+	Schedule *schedule.Schedule
+	// Time is the simulator-predicted completion time in seconds;
+	// strictly decreasing across the published stream.
+	Time float64
+	// Bound is the best known flow lower bound for the plan at publish
+	// time (0 until bounds are computed, and always 0 under SolverExact).
+	Bound float64
+	// Source names the pipeline stage that produced the schedule:
+	// "direct" (routed one-to-one), "coarse", "ring" (injected NCCL
+	// ring), or "fine".
+	Source string
+	// Engine is the sub-demand engine of the producing pass ("greedy",
+	// "exact", "flow", ...), or "" where no solver ran.
+	Engine string
+	// Combination is the sketch combination behind the schedule (nil for
+	// injected or routed schedules, and for mirrored/concatenated
+	// collectives where the forward combination applied).
+	Combination *sketch.Combination
+	// Seq numbers the stream from 1.
+	Seq int
 }
 
 // SolverMode selects the solver strategy family for sub-demand solving.
@@ -183,6 +239,9 @@ func (o Options) withDefaults() Options {
 	if o.Sim.IsZero() {
 		o.Sim = sim.DefaultOptions()
 	}
+	if o.Hint != nil && o.Search.Hint == nil {
+		o.Search.Hint = o.Hint
+	}
 	// Fan the recorder out to the sub-systems that accept one, unless the
 	// caller wired its own.
 	if o.Obs != nil {
@@ -226,6 +285,12 @@ type Stats struct {
 	// was bound-pruned, so no schedule under the port model can do
 	// better.
 	ProvedOptimal bool
+	// StoppedEarly reports that Options.StopWithin fired: the coarse
+	// incumbent was within the configured gap of its flow lower bound,
+	// so the fine pass was skipped. The result is complete (not
+	// Partial) — the knob trades potential fine-pass improvement for
+	// latency, deterministically.
+	StoppedEarly bool
 	// TooLarge counts sub-demand solves rejected at the exact engine's
 	// MaxBinaries size gate (SolverExact mode — SolverAuto reroutes
 	// these to the flow backend instead). SolveErrors carries the
@@ -272,11 +337,15 @@ func (o Options) fineEngine() solve.Engine {
 	}
 }
 
-// candidate is one sketch combination under evaluation.
+// candidate is one sketch combination under evaluation. source and
+// engine record which pass produced the schedule — provenance for the
+// incumbent published when the candidate wins the pipeline.
 type candidate struct {
-	combo *sketch.Combination
-	sched *schedule.Schedule
-	time  float64
+	combo  *sketch.Combination
+	sched  *schedule.Schedule
+	time   float64
+	source string
+	engine string
 }
 
 func kindForward(k collective.Kind) (forward collective.Kind, mirrored bool) {

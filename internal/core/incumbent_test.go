@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"syccl/internal/collective"
+	"syccl/internal/sketch"
+	"syccl/internal/topology"
+	"syccl/internal/verify"
+)
+
+// collectIncumbents runs SynthesizeContext with a recording callback.
+func collectIncumbents(t *testing.T, top *topology.Topology, col *collective.Collective, opts Options) (*Result, []Incumbent) {
+	t.Helper()
+	var incs []Incumbent
+	opts.OnIncumbent = func(inc Incumbent) { incs = append(incs, inc) }
+	res, err := Synthesize(top, col, opts)
+	if err != nil {
+		t.Fatalf("streaming synthesize: %v", err)
+	}
+	return res, incs
+}
+
+// checkIncumbentInvariants asserts the publication contract: seq counts
+// from 1, times strictly decrease, every incumbent passes the
+// chunk-replay oracle, and the last incumbent is the returned result.
+func checkIncumbentInvariants(t *testing.T, col *collective.Collective, res *Result, incs []Incumbent) {
+	t.Helper()
+	if len(incs) == 0 {
+		t.Fatal("no incumbents published")
+	}
+	for i, inc := range incs {
+		if inc.Seq != i+1 {
+			t.Fatalf("incumbent %d has seq %d", i, inc.Seq)
+		}
+		if i > 0 && inc.Time >= incs[i-1].Time {
+			t.Fatalf("incumbent stream not strictly improving: #%d %g after %g", i+1, inc.Time, incs[i-1].Time)
+		}
+		if inc.Bound > 0 && inc.Time < inc.Bound*(1-1e-9) {
+			t.Fatalf("incumbent #%d beats its own lower bound: %g < %g", i+1, inc.Time, inc.Bound)
+		}
+		if err := verify.CheckSchedule(col, inc.Schedule); err != nil {
+			t.Fatalf("incumbent #%d (%s/%s) fails the oracle: %v", i+1, inc.Source, inc.Engine, err)
+		}
+	}
+	last := incs[len(incs)-1]
+	if last.Time != res.Time {
+		t.Fatalf("final incumbent %g != result %g", last.Time, res.Time)
+	}
+	if !reflect.DeepEqual(last.Schedule, res.Schedule) {
+		t.Fatal("final incumbent schedule differs from the returned result")
+	}
+}
+
+// TestIncumbentStreamMetamorphic is the randomized differential gate for
+// the publisher refactor: across random topologies and all nine
+// collective kinds, the incumbent stream is strictly improving, every
+// published schedule passes the chunk-replay oracle, and attaching the
+// stream changes nothing — the plain Synthesize result is bit-for-bit
+// the streamed run's final incumbent.
+func TestIncumbentStreamMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250808))
+	for iter := 0; iter < 9; iter++ {
+		top := verify.RandomTopology(rng)
+		kind := verify.AllKinds[iter%len(verify.AllKinds)]
+		col := verify.RandomCollective(rng, kind, top.NumGPUs())
+		opts := Options{Seed: int64(iter), Workers: 1 + iter%3}
+
+		res, incs := collectIncumbents(t, top, col, opts)
+		checkIncumbentInvariants(t, col, res, incs)
+
+		plain, err := Synthesize(top, col, opts)
+		if err != nil {
+			t.Fatalf("iter %d (%v on %s): plain synthesize: %v", iter, kind, top.Name, err)
+		}
+		if plain.Time != res.Time {
+			t.Fatalf("iter %d (%v on %s): streaming changed the result time: %g vs %g",
+				iter, kind, top.Name, res.Time, plain.Time)
+		}
+		if !reflect.DeepEqual(plain.Schedule, res.Schedule) {
+			t.Fatalf("iter %d (%v on %s): streaming changed the schedule", iter, kind, top.Name)
+		}
+	}
+}
+
+// TestAllReduceWinnerByConcatenatedTime pins the non-monotone-transform
+// case: on the tree-hinted A100 Clos AllReduce, the candidate with the
+// best AllGather-phase time finishes into a worse concatenated
+// ReduceScatter+AllGather schedule than a rival. The pipeline must rank
+// finalists by the concatenated time — the one the caller sees and the
+// one the incumbent stream's improvement gate is stated over — so the
+// final result can never be worse than a published incumbent.
+func TestAllReduceWinnerByConcatenatedTime(t *testing.T) {
+	top := topology.A100Clos(2)
+	col := collective.AllReduce(top.NumGPUs(), 64<<20)
+	hint, err := sketch.ParseHint("family=tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workers: 1, Hint: hint}
+
+	res, incs := collectIncumbents(t, top, col, opts)
+	checkIncumbentInvariants(t, col, res, incs)
+	for i, inc := range incs {
+		if res.Time > inc.Time {
+			t.Fatalf("result %g worse than incumbent #%d at %g", res.Time, i+1, inc.Time)
+		}
+	}
+}
+
+// TestStopWithinStopsEarly: with a generous StopWithin threshold the
+// pipeline settles for the coarse incumbent once it is within range of
+// the flow bound — StoppedEarly is set, the result is not Partial, still
+// passes the oracle, and is deterministic across runs. A full run of the
+// same demand can only be at least as good.
+func TestStopWithinStopsEarly(t *testing.T) {
+	top := topology.H800Small(2)
+	col := collective.AllGather(top.NumGPUs(), 1<<20)
+	opts := Options{Workers: 1, StopWithin: 10}
+
+	res, incs := collectIncumbents(t, top, col, opts)
+	if !res.Stats.StoppedEarly {
+		t.Fatal("StopWithin 1000% never fired")
+	}
+	if res.Partial {
+		t.Fatal("early stop reported as Partial")
+	}
+	checkIncumbentInvariants(t, col, res, incs)
+
+	again, err := Synthesize(top, col, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Time != res.Time || !reflect.DeepEqual(again.Schedule, res.Schedule) {
+		t.Fatal("StopWithin run not deterministic")
+	}
+
+	full, err := Synthesize(top, col, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.StoppedEarly {
+		t.Fatal("StoppedEarly set without StopWithin")
+	}
+	if full.Time > res.Time {
+		t.Fatalf("full pipeline worse than early stop: %g > %g", full.Time, res.Time)
+	}
+}

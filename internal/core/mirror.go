@@ -93,7 +93,27 @@ func synthesizeAllReduce(ctx context.Context, top *topology.Topology, col *colle
 	agCol := collective.AllGather(n, per)
 	rsCol := collective.ReduceScatter(n, per)
 
-	agRes, err := synthesizeForward(ctx, top, agCol, opts, parent)
+	// Each AllGather-phase candidate is finished into a full AllReduce
+	// schedule exactly as the final result is below: mirror into the
+	// ReduceScatter phase, validate it, concatenate, re-simulate. The same
+	// transform ranks the pipeline's finalists (the concatenated time is
+	// what the caller sees — it is not monotone in the AllGather time) and
+	// gates the incumbent stream.
+	transform := func(fwd *schedule.Schedule, _ float64) (*schedule.Schedule, float64, bool) {
+		rs := mirrorSchedule(fwd, agCol, rsCol)
+		if rs.Validate(rsCol) != nil {
+			return nil, 0, false
+		}
+		full := schedule.Concat(rs, fwd)
+		r, err := sim.Simulate(top, full, opts.Sim)
+		if err != nil {
+			return nil, 0, false
+		}
+		return full, r.Time, true
+	}
+	pub := newPublisher(opts.OnIncumbent, transform)
+
+	agRes, err := synthesizeForward(ctx, top, agCol, opts, parent, pub, transform)
 	if err != nil {
 		return nil, err
 	}

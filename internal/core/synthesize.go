@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,9 @@ func SynthesizeContext(ctx context.Context, top *topology.Topology, col *collect
 	if col.NumGPUs != top.NumGPUs() {
 		return nil, fmt.Errorf("core: collective spans %d GPUs, topology has %d", col.NumGPUs, top.NumGPUs())
 	}
+	if err := opts.Hint.Validate(top.NumDims()); err != nil {
+		return nil, err
+	}
 
 	root := opts.Obs.StartSpan("synthesize")
 	root.SetStr("topology", top.Name)
@@ -75,11 +79,26 @@ func SynthesizeContext(ctx context.Context, top *topology.Topology, col *collect
 
 	forwardKind, mirrored := kindForward(col.Kind)
 	forwardCol := col
+	transform := identityTransform(col)
 	if mirrored {
 		forwardCol = forwardCollective(col, forwardKind)
+		// Incumbents of a mirrored collective are finished exactly the
+		// way the final result is below: mirror, validate, re-simulate.
+		transform = func(fwd *schedule.Schedule, _ float64) (*schedule.Schedule, float64, bool) {
+			m := mirrorSchedule(fwd, forwardCol, col)
+			if m.Validate(col) != nil {
+				return nil, 0, false
+			}
+			r, err := sim.Simulate(top, m, opts.Sim)
+			if err != nil {
+				return nil, 0, false
+			}
+			return m, r.Time, true
+		}
 	}
+	pub := newPublisher(opts.OnIncumbent, transform)
 
-	res, err := synthesizeForward(ctx, top, forwardCol, opts, root)
+	res, err := synthesizeForward(ctx, top, forwardCol, opts, root, pub, transform)
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +135,14 @@ func seedCounters(rec *obs.Recorder) {
 }
 
 // synthesizeForward runs the two-phase pipeline for forward (non-reduce)
-// collectives. The parent span (nil-safe) roots the per-phase spans.
-func synthesizeForward(ctx context.Context, top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span) (*Result, error) {
+// collectives. The parent span (nil-safe) roots the per-phase spans. pub
+// (nil-safe) receives every improving candidate as it completes
+// simulation; publication is observation only and never influences which
+// candidate wins. transform finishes forward schedules into the
+// caller-visible collective (identity for forward kinds) — the winner at
+// every return site is the candidate whose finished time is minimal,
+// which is the same criterion the publisher's improvement gate uses.
+func synthesizeForward(ctx context.Context, top *topology.Topology, col *collective.Collective, opts Options, parent *obs.Span, pub *publisher, transform transformFunc) (*Result, error) {
 	res := &Result{}
 
 	// Phase 1a: sketch search (§4.1).
@@ -139,6 +164,7 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 		if err != nil {
 			return nil, err
 		}
+		pub.offer(sched, r.Time, "direct", "", nil)
 		res.Schedule, res.Time = sched, r.Time
 		return res, validateForward(sched, col)
 	case collective.KindBroadcast:
@@ -191,11 +217,14 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	if opts.Engine != solve.EngineAuto {
 		eng1 = opts.Engine
 	}
-	coarse := realizeAll(ctx, top, col, combos, e1, eng1, opts, &res.Stats, coarseSpan)
+	coarse := realizeAll(ctx, top, col, combos, e1, eng1, opts, &res.Stats, coarseSpan, pub, "coarse")
 	cands := make([]*candidate, 0, len(combos))
 	for ci, combo := range combos {
 		if coarse[ci].ok {
-			cands = append(cands, &candidate{combo: combo, sched: coarse[ci].sched, time: coarse[ci].time})
+			cands = append(cands, &candidate{
+				combo: combo, sched: coarse[ci].sched, time: coarse[ci].time,
+				source: "coarse", engine: eng1.String(),
+			})
 		}
 	}
 	// The ring family lives in the untruncated sketch space (K up to
@@ -205,7 +234,8 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	if col.Kind == collective.KindAllGather {
 		if ring, err := nccl.AllGather(top, col); err == nil {
 			if r, err := sim.Simulate(top, ring, opts.Sim); err == nil {
-				cands = append(cands, &candidate{sched: ring, time: r.Time})
+				pub.offer(ring, r.Time, "ring", "", nil)
+				cands = append(cands, &candidate{sched: ring, time: r.Time, source: "ring"})
 			}
 		}
 	}
@@ -223,7 +253,7 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	sort.SliceStable(cands, func(a, b int) bool { return cands[a].time < cands[b].time })
 
 	if opts.DisableTwoStep {
-		best := cands[0]
+		best := pickWinner(cands, transform, pub)
 		res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
 		res.Partial = ctx.Err() != nil
 		return res, validateForward(res.Schedule, col)
@@ -233,7 +263,7 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	// pass. The surviving candidates are complete, simulated schedules —
 	// return the best of them instead of starting the fine pass.
 	if ctx.Err() != nil {
-		best := cands[0]
+		best := pickWinner(cands, transform, pub)
 		res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
 		res.Partial = true
 		return res, validateForward(res.Schedule, col)
@@ -254,8 +284,10 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	// the incumbent's own bound proves the coarse schedule optimal. See
 	// bound.go; pruning never changes the fine-pass winner.
 	proved := false
+	incLB := 0.0
 	if opts.SolverMode != SolverExact {
-		keep, proved = pruneByBound(ctx, top, col, keep, opts, &res.Stats, parent)
+		keep, proved, incLB = pruneByBound(ctx, top, col, keep, opts, &res.Stats, parent)
+		pub.setBound(incLB)
 	}
 	res.Stats.Refined = len(keep)
 
@@ -271,7 +303,21 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 		fineSpan.SetStr("outcome", "proved-optimal")
 		fineSpan.End()
 		res.Stats.ProvedOptimal = true
-		best := keep[0]
+		best := pickWinner(cands, transform, pub)
+		res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
+		res.Partial = ctx.Err() != nil
+		return res, validateForward(res.Schedule, col)
+	}
+	// Early termination (the StopWithin knob): the incumbent is already
+	// within the requested gap of its flow lower bound, so skip the fine
+	// pass. The check sits at this deterministic boundary — never inside
+	// a pass — so results stay byte-identical across Workers settings.
+	// Not Partial: the caller asked for exactly this trade.
+	if opts.StopWithin > 0 && incLB > 0 && keep[0].time <= incLB*(1+opts.StopWithin) {
+		fineSpan.SetStr("outcome", "stopped-early")
+		fineSpan.End()
+		res.Stats.StoppedEarly = true
+		best := pickWinner(cands, transform, pub)
 		res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
 		res.Partial = ctx.Err() != nil
 		return res, validateForward(res.Schedule, col)
@@ -281,28 +327,59 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	for i, c := range keep {
 		fineCombos[i] = c.combo
 	}
-	fine := realizeAll(ctx, top, col, fineCombos, opts.E2, opts.fineEngine(), opts, &res.Stats, fineSpan)
-	best := keep[0]
-	bestTime := best.time
-	bestSched := best.sched
+	fine := realizeAll(ctx, top, col, fineCombos, opts.E2, opts.fineEngine(), opts, &res.Stats, fineSpan, pub, "fine")
+	finalists := make([]*candidate, 0, len(cands)+len(keep))
+	finalists = append(finalists, cands...)
+	fineName := opts.fineEngine().String()
 	for ci, c := range keep {
-		if !fine[ci].ok {
-			continue
-		}
-		if fine[ci].time < bestTime {
-			bestTime = fine[ci].time
-			bestSched = fine[ci].sched
-			best = c
+		if fine[ci].ok {
+			finalists = append(finalists, &candidate{
+				combo: c.combo, sched: fine[ci].sched, time: fine[ci].time,
+				source: "fine", engine: fineName,
+			})
 		}
 	}
+	best := pickWinner(finalists, transform, pub)
 	res.Phases.Solve2 = time.Since(t0)
 	fineSpan.End()
-	res.Schedule, res.Time, res.Combination = bestSched, bestTime, best.combo
+	res.Schedule, res.Time, res.Combination = best.sched, best.time, best.combo
 	// A cancellation mid-fine-pass degrades gracefully: candidates whose
 	// fine solves did not finish keep their coarse-pass schedules, and the
 	// result is flagged Partial.
 	res.Partial = ctx.Err() != nil
 	return res, validateForward(res.Schedule, col)
+}
+
+// pickWinner selects the pipeline's result by caller-visible time: each
+// finalist's forward schedule is finished through the transform and the
+// minimal finished time wins, first in order on ties. Ranking by forward
+// time instead would be wrong for AllReduce — the concatenated
+// ReduceScatter+AllGather time is not monotone in the AllGather-phase
+// time, so the forward-best candidate can finish into a schedule worse
+// than one already published on the incumbent stream. The chosen winner
+// is force-offered to the publisher (no-op when it was already the best
+// published), which is what keeps the stream's last event equal to the
+// returned result. Finalists whose transform fails are skipped; if none
+// survives, forward order decides and the caller surfaces the transform
+// error. Deterministic: a pure fold over a deterministic finalist list.
+func pickWinner(finalists []*candidate, transform transformFunc, pub *publisher) *candidate {
+	best := finalists[0]
+	bestT := math.Inf(1)
+	var bestOut *schedule.Schedule
+	for _, f := range finalists {
+		out, t, ok := transform(f.sched, f.time)
+		if !ok {
+			continue
+		}
+		if t < bestT {
+			best, bestT, bestOut = f, t, out
+		}
+	}
+	if bestOut == nil {
+		return finalists[0]
+	}
+	pub.publishFinal(bestOut, bestT, best.source, best.engine, best.combo)
+	return best
 }
 
 // searchCached serves the sketch search from opts.SketchCache when one is
@@ -337,10 +414,16 @@ func sketchCacheKey(top *topology.Topology, root int, scatter bool, so sketch.Se
 	if scatter {
 		shape = "s"
 	}
-	return fmt.Sprintf("%s|%s%d|k%d,n%d,m%d,c%d,p1:%t,p2:%t,ff:%t",
+	key := fmt.Sprintf("%s|%s%d|k%d,n%d,m%d,c%d,p1:%t,p2:%t,ff:%t",
 		top.Fingerprint(), shape, root,
 		so.MaxStages, so.MaxNodes, so.MaxSketches, so.MaxCountChoices,
 		so.DisablePrune1, so.DisablePrune2, so.FullFanoutOnly)
+	// A hint filters the result set, so hinted searches get their own
+	// entries; unhinted keys keep their historical format.
+	if h := so.Hint.Canonical(); h != "" {
+		key += "|h=" + h
+	}
+	return key
 }
 
 // sendRecvSchedule routes a one-to-one transfer: direct where a shared
@@ -414,8 +497,9 @@ type realized struct {
 // truncated exact solve may have returned its greedy incumbent, which
 // must not masquerade as the converged solution in later requests).
 func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Collective, combos []*sketch.Combination,
-	e float64, engine solve.Engine, opts Options, stats *Stats, span *obs.Span) []realized {
+	e float64, engine solve.Engine, opts Options, stats *Stats, span *obs.Span, pub *publisher, source string) []realized {
 
+	engineName := engine.String()
 	n := len(combos)
 	out := make([]realized, n)
 	asms := make([]*assembly, n)
@@ -458,6 +542,13 @@ func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Col
 	noFlow := opts.SolverMode == SolverExact
 	solveSig := fmt.Sprintf("e%.9g|g%d|t%d|s%d|fb%t",
 		e, engine, opts.SolveTimeLimit.Nanoseconds(), opts.Seed, noFlow)
+	// Hinted plans carry the hint in their signature so hinted and
+	// unhinted solutions never collide in the memory or persist tiers.
+	// Unhinted signatures are unchanged, keeping existing persisted
+	// corpora valid.
+	if h := opts.Hint.Canonical(); h != "" {
+		solveSig += "|h=" + h
+	}
 	cached := make([]*solve.SubSchedule, len(demands))
 	if opts.SolveCache != nil {
 		parallelFor(len(demands), opts.Workers, func(i int) {
@@ -608,6 +699,9 @@ func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Col
 		cs.SetFloat("time", r.Time)
 		cs.End()
 		out[ci] = realized{sched: sched, time: r.Time, ok: true}
+		// Publish as soon as the candidate is simulated: the stream is
+		// anytime, so waiting for the pass barrier would only delay it.
+		pub.offer(sched, r.Time, source, engineName, combos[ci])
 	})
 	return out
 }

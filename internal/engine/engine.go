@@ -102,6 +102,14 @@ type PersistTier interface {
 // Stats is a snapshot of the engine's lifetime counters. The JSON field
 // names are part of the serving API (`GET /statsz` in internal/serve
 // embeds a Stats verbatim), so they are stable snake_case.
+//
+// Contract: every counter is marshaled explicitly, including zeros — no
+// omitempty. Scrapers (and the loadtest's /statsz deltas) subtract
+// successive snapshots, which only works when every field is present in
+// every scrape; a field that appears only once non-zero would read as a
+// reset. New counters may be added, but existing fields are never
+// renamed, retyped, or made omittable. TestStatsJSONGolden pins the
+// exact zero-value shape.
 type Stats struct {
 	// Plans is the number of Plan calls accepted.
 	Plans int64 `json:"plans"`

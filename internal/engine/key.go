@@ -37,6 +37,17 @@ func PlanKey(top *topology.Topology, col *collective.Collective, opts core.Optio
 	fmt.Fprintf(&sb, "|e1=%.9g|e2=%.9g|r1=%.9g|r2=%d|mc=%d|seed=%d|eng=%d|tl=%d|2s=%t|iso=%t",
 		opts.E1, opts.E2, opts.R1, opts.R2, opts.MaxCombos, opts.Seed,
 		int(opts.Engine), int64(opts.SolveTimeLimit), opts.DisableTwoStep, opts.DisableIsomorphCache)
+	// A sketch hint filters the candidate space and StopWithin can end
+	// the pipeline at the coarse/fine boundary, so both are part of plan
+	// identity. Appended only when set: unhinted keys keep their
+	// historical format, so stored-schedule snapshots from older runs
+	// stay addressable.
+	if h := opts.Hint.Canonical(); h != "" {
+		fmt.Fprintf(&sb, "|hint=%s", h)
+	}
+	if opts.StopWithin > 0 {
+		fmt.Fprintf(&sb, "|sw=%.9g", opts.StopWithin)
+	}
 	return sb.String()
 }
 

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"syccl/internal/collective"
+	"syccl/internal/core"
+	"syccl/internal/sketch"
+	"syccl/internal/topology"
+	"syccl/internal/verify"
+)
+
+// TestSynthesizeStreamInvariants is the stream contract at the engine
+// layer: every streamed incumbent is valid and strictly improving, and
+// the returned result — the final incumbent — is byte-identical to a
+// plain Plan of the same request on a fresh engine.
+func TestSynthesizeStreamInvariants(t *testing.T) {
+	top := topology.H800Small(2)
+	col := collective.AllGather(top.NumGPUs(), 1<<20)
+
+	var events []core.Incumbent
+	streamed, err := New(Options{}).SynthesizeStream(context.Background(), top, col, quickOpts(),
+		func(inc core.Incumbent) { events = append(events, inc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("stream emitted no incumbents")
+	}
+	prev := 0.0
+	for i, inc := range events {
+		if inc.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, inc.Seq)
+		}
+		if i > 0 && inc.Time >= prev {
+			t.Errorf("stream not strictly improving: event %d time %v after %v", i, inc.Time, prev)
+		}
+		prev = inc.Time
+		if err := verify.CheckSchedule(col, inc.Schedule); err != nil {
+			t.Errorf("streamed incumbent %d invalid: %v", i, err)
+		}
+		if inc.Source == "" {
+			t.Errorf("event %d has no source", i)
+		}
+	}
+	if streamed.Time > prev {
+		t.Errorf("final result time %v worse than last streamed incumbent %v", streamed.Time, prev)
+	}
+
+	plain, err := New(Options{}).Plan(context.Background(), top, col, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Time != plain.Time || !reflect.DeepEqual(streamed.Schedule, plain.Schedule) {
+		t.Fatal("streamed final result differs from plain Plan")
+	}
+}
+
+// A hinted plan must never be served from unhinted cache entries (or
+// vice versa): the hint is part of the solve/sketch signatures, so the
+// memory tier shows no hits and the plan re-solves.
+func TestHintedPlanDistinctMemoryKeys(t *testing.T) {
+	top := topology.H800Small(2)
+	col := collective.AllGather(top.NumGPUs(), 1<<20)
+	eng := New(Options{})
+
+	if _, err := eng.Plan(context.Background(), top, col, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Stats()
+
+	hinted := quickOpts()
+	hinted.Hint = &sketch.Hint{Family: sketch.FamilyTree}
+	if PlanKey(top, col, hinted) == PlanKey(top, col, quickOpts()) {
+		t.Fatal("hinted and unhinted requests share a PlanKey")
+	}
+	res, err := eng.Plan(context.Background(), top, col, hinted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.SolveHits != before.SolveHits || st.SketchHits != before.SketchHits {
+		t.Fatalf("hinted plan was served from unhinted entries: before %+v, after %+v", before, st)
+	}
+	if res.Stats.SolverCalls == 0 {
+		t.Fatal("hinted plan made no solver calls; separation test is vacuous")
+	}
+	if err := verify.CheckSchedule(col, res.Schedule); err != nil {
+		t.Fatalf("hinted schedule invalid: %v", err)
+	}
+
+	// The hinted entries are themselves cached: an identical hinted
+	// re-plan replays warm.
+	again, err := eng.Plan(context.Background(), top, col, hinted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.SolverCalls != 0 {
+		t.Fatalf("warm hinted plan executed %d solver calls", again.Stats.SolverCalls)
+	}
+	if !reflect.DeepEqual(again.Schedule, res.Schedule) {
+		t.Fatal("warm hinted schedule differs from cold hinted schedule")
+	}
+}
+
+// The separation holds across the persist tier too: an unhinted corpus
+// on disk serves nothing to a hinted plan after a reboot.
+func TestHintedPlanDistinctPersistKeys(t *testing.T) {
+	dir := t.TempDir()
+	top := topology.H800Small(2)
+	col := collective.AllGather(top.NumGPUs(), 1<<20)
+
+	engA := New(Options{Persist: openPersist(t, dir)})
+	if _, err := engA.Plan(context.Background(), top, col, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+
+	engB := New(Options{Persist: openPersist(t, dir)})
+	hinted := quickOpts()
+	hinted.Hint = &sketch.Hint{Family: sketch.FamilyTree}
+	res, err := engB.Plan(context.Background(), top, col, hinted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := engB.Stats(); st.PersistHits != 0 {
+		t.Fatalf("hinted plan hit the unhinted persist corpus: %+v", st)
+	}
+	if res.Stats.SolverCalls == 0 {
+		t.Fatal("hinted plan made no solver calls; separation test is vacuous")
+	}
+}

@@ -64,3 +64,14 @@ func (a *admission) release() {
 	}
 	<-a.slots
 }
+
+// load reports the instantaneous admission pressure: solves holding a
+// slot and flights waiting in the queue. Both are snapshots of channel
+// occupancy — racy by nature, which is fine for the Retry-After hint
+// they feed.
+func (a *admission) load() (running, queued int) {
+	if a.disabled {
+		return 0, 0
+	}
+	return len(a.slots), len(a.queue)
+}

@@ -43,6 +43,50 @@ type flight struct {
 	queueWait time.Duration
 	solve     time.Duration
 	cache     string
+
+	// Incumbent broker: the leader's solve publishes one event per
+	// improving incumbent; streaming followers subscribe and receive the
+	// history plus everything live. Guarded by bmu — never the group's
+	// mutex, so publication cannot contend with join/leave.
+	bmu  sync.Mutex
+	hist []StreamEvent
+	subs []chan StreamEvent
+}
+
+// publish fans one incumbent event out to every subscriber and appends
+// it to the history for late subscribers. Sends never block: a
+// subscriber that has fallen subBuffer events behind misses the oldest —
+// harmless, since the stream is monotone and the final event always
+// arrives via f.done.
+func (f *flight) publish(ev StreamEvent) {
+	f.bmu.Lock()
+	f.hist = append(f.hist, ev)
+	for _, ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	f.bmu.Unlock()
+}
+
+// subBuffer is each subscriber's live-event headroom beyond the replayed
+// history. Incumbent streams are short (strictly improving), so this is
+// generous.
+const subBuffer = 64
+
+// subscribe registers a new event channel, pre-loaded with the history
+// so a follower that joined mid-solve sees the whole stream. Channels
+// are never closed; readers multiplex on the flight's done channel.
+func (f *flight) subscribe() <-chan StreamEvent {
+	f.bmu.Lock()
+	defer f.bmu.Unlock()
+	ch := make(chan StreamEvent, len(f.hist)+subBuffer)
+	for _, ev := range f.hist {
+		ch <- ev
+	}
+	f.subs = append(f.subs, ch)
+	return ch
 }
 
 type flightGroup struct {

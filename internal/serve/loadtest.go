@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -33,6 +34,10 @@ type LoadConfig struct {
 	Concurrency int
 	// TimeoutMS is forwarded to each request (0 = server default).
 	TimeoutMS int64
+	// Stream is how many stream:true requests to issue against distinct
+	// cold demands, measuring each one's time to first incumbent event
+	// (0 = skip the streaming phase).
+	Stream int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -87,6 +92,10 @@ type LoadReport struct {
 	Workload string       `json:"workload"`
 	Cold     LatencyStats `json:"cold"`
 	Warm     LatencyStats `json:"warm"`
+	// TTFI is the time-to-first-incumbent distribution over the streaming
+	// phase: how long a stream:true client waits before the first NDJSON
+	// event arrives. Zero-valued when the phase was skipped.
+	TTFI LatencyStats `json:"ttfi"`
 	// WarmSpeedup is cold p50 over warm p50.
 	WarmSpeedup float64 `json:"warm_speedup_p50"`
 	// CoalescingHitRate is (coalesced + store hits) / requests over the
@@ -140,11 +149,56 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		return lats, errCount, nil
 	}
 
+	// Streaming phase: fresh demands (seeds past the cold phase's), each
+	// timed to its first NDJSON event — the anytime latency a streaming
+	// client experiences before any schedule is visible.
+	runStream := func(n int) ([]float64, int) {
+		ttfis := make([]float64, 0, n)
+		errCount := 0
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Concurrency)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				b := fmt.Sprintf(`{"topology":%q,"collective":%q,"size":%q,"seed":%d,"timeout_ms":%d,"stream":true}`,
+					cfg.Topology, cfg.Collective, cfg.Size, int64(cfg.Cold+i+1), cfg.TimeoutMS)
+				start := time.Now()
+				resp, err := client.Post(cfg.BaseURL+"/v1/synthesize", "application/json",
+					bytes.NewReader([]byte(b)))
+				if err != nil {
+					mu.Lock()
+					errCount++
+					mu.Unlock()
+					return
+				}
+				br := bufio.NewReader(resp.Body)
+				_, rerr := br.ReadBytes('\n')
+				ttfi := float64(time.Since(start).Microseconds())
+				io.Copy(io.Discard, br)
+				resp.Body.Close()
+				mu.Lock()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					errCount++
+				} else {
+					ttfis = append(ttfis, ttfi)
+				}
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		return ttfis, errCount
+	}
+
 	// Cold phase: every request is a distinct demand (seed i+1).
 	coldLats, coldErrs, err := run(cfg.Cold, func(i int) int64 { return int64(i + 1) })
 	if err != nil {
 		return nil, err
 	}
+	ttfiLats, streamErrs := runStream(cfg.Stream)
 	// Warm phase: one fixed demand, repeated.
 	warmLats, warmErrs, err := run(cfg.Warm, func(int) int64 { return 0 })
 	if err != nil {
@@ -162,11 +216,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	report := &LoadReport{
-		Workload: fmt.Sprintf("%s %s %s (cold=%d warm=%d conc=%d)",
-			cfg.Collective, cfg.Size, cfg.Topology, cfg.Cold, cfg.Warm, cfg.Concurrency),
+		Workload: fmt.Sprintf("%s %s %s (cold=%d stream=%d warm=%d conc=%d)",
+			cfg.Collective, cfg.Size, cfg.Topology, cfg.Cold, cfg.Stream, cfg.Warm, cfg.Concurrency),
 		Cold:   summarize(coldLats),
 		Warm:   summarize(warmLats),
-		Errors: coldErrs + warmErrs,
+		TTFI:   summarize(ttfiLats),
+		Errors: coldErrs + streamErrs + warmErrs,
 		Stats:  snap,
 	}
 	if report.Warm.P50us > 0 {

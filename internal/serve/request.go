@@ -13,6 +13,7 @@ import (
 	"syccl/internal/collective"
 	"syccl/internal/core"
 	"syccl/internal/engine"
+	"syccl/internal/sketch"
 	"syccl/internal/topology"
 )
 
@@ -48,6 +49,22 @@ type Request struct {
 	// requests and still warms the engine caches). Load tests use this
 	// to measure the engine-warm rather than the store-hit path.
 	BypassStore bool `json:"bypass_store,omitempty"`
+	// SketchHint constrains the sketch search with a TACCL-style hint
+	// spec, e.g. "dims=1,0;sizes=4,2;family=tree" (see sketch.ParseHint).
+	// Hinted requests never share cache entries or flights with unhinted
+	// ones.
+	SketchHint string `json:"sketch_hint,omitempty"`
+	// Stream switches the response to application/x-ndjson: one
+	// "incumbent" event per improving schedule as synthesis runs,
+	// terminated by a "final" event carrying the SynthesizeResponse (or
+	// an "error" event). Streaming responses are always HTTP 200; late
+	// failures arrive as the terminal event.
+	Stream bool `json:"stream,omitempty"`
+	// StopWithinPct, when positive, stops synthesis at the coarse/fine
+	// boundary once the incumbent is within this percentage of its flow
+	// lower bound (e.g. 5 = accept anything within 5% of provably
+	// optimal). Range [0,100].
+	StopWithinPct float64 `json:"stop_within_pct,omitempty"`
 }
 
 // Error codes returned in the structured error body.
@@ -56,6 +73,7 @@ const (
 	CodeBadTopology   = "bad_topology"
 	CodeBadCollective = "bad_collective"
 	CodeBadSize       = "bad_size"
+	CodeBadHint       = "bad_hint"
 	CodeBodyTooLarge  = "body_too_large"
 	CodeQueueFull     = "queue_full"
 	CodeDraining      = "draining"
@@ -123,6 +141,16 @@ func DecodeRequest(r io.Reader, maxBytes int64) (*Request, *APIError) {
 	if req.Workers < 0 || req.Workers > 4096 {
 		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest, "workers must be in [0,4096], got %d", req.Workers)
 	}
+	if req.StopWithinPct < 0 || req.StopWithinPct > 100 {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"stop_within_pct must be in [0,100], got %g", req.StopWithinPct)
+	}
+	// The hint's syntax is validated here so malformed specs fail fast
+	// with a structured code; topology-dependent checks (dimension range)
+	// happen in resolve once the topology is known.
+	if _, err := sketch.ParseHint(req.SketchHint); err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadHint, "%v", err)
+	}
 	return req, nil
 }
 
@@ -171,6 +199,19 @@ func (s *Server) resolve(req *Request) (*resolved, *APIError) {
 	if opts.Workers <= 0 {
 		opts.Workers = s.opts.DefaultWorkers
 	}
+	// The hint re-parses into its canonical *sketch.Hint, so two
+	// spellings of the same hint coalesce (PlanKey embeds the canonical
+	// form). Syntax was already checked in DecodeRequest; the dimension
+	// range check needs the topology.
+	hint, err := sketch.ParseHint(req.SketchHint)
+	if err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadHint, "%v", err)
+	}
+	if err := hint.Validate(top.NumDims()); err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadHint, "%v", err)
+	}
+	opts.Hint = hint
+	opts.StopWithin = req.StopWithinPct / 100
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {
 		timeout = s.opts.DefaultTimeout

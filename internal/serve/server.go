@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -43,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"syccl/internal/core"
 	"syccl/internal/engine"
 	"syccl/internal/obs"
 	"syccl/internal/persist"
@@ -423,6 +425,10 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *resolved) {
+	if res.req.Stream {
+		s.serveStream(w, r, res)
+		return
+	}
 	rr := requestRecordFrom(r.Context())
 
 	// Warm duplicates: served straight from the store, engine untouched.
@@ -444,18 +450,7 @@ func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *reso
 	}
 
 	// Cold or bypassing: join (or start) the single flight for this key.
-	f, leader := s.flights.join(res.key)
-	if leader {
-		f.rec = obs.NewRecorder()
-		if rr != nil {
-			f.reqID = rr.ID
-		}
-		s.bgFlight.Add(1)
-		go s.runFlight(f, res)
-	} else {
-		s.coalesced.Add(1)
-		s.rec.Count("serve.coalesced", 1)
-	}
+	f, leader := s.joinOrStart(rr, res)
 	defer s.flights.leave(f)
 
 	select {
@@ -490,7 +485,8 @@ func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *reso
 
 	if f.apiErr != nil {
 		if f.apiErr.Code == CodeQueueFull {
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.opts.RetryAfter)))
+			_, queued := s.adm.load()
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterHint(s.opts.RetryAfter, queued, s.opts.Concurrency)))
 		}
 		if rr != nil {
 			rr.Error = f.apiErr.Code
@@ -507,6 +503,132 @@ func (s *Server) serveResolved(w http.ResponseWriter, r *http.Request, res *reso
 		resp.Schedule = ToScheduleJSON(f.sched)
 	}
 	writeJSON(w, f.status, resp)
+}
+
+// joinOrStart joins the single flight for res.key, becoming the leader
+// (and starting the solve goroutine) when this request is first in.
+func (s *Server) joinOrStart(rr *RequestRecord, res *resolved) (*flight, bool) {
+	f, leader := s.flights.join(res.key)
+	if leader {
+		f.rec = obs.NewRecorder()
+		if rr != nil {
+			f.reqID = rr.ID
+		}
+		s.bgFlight.Add(1)
+		go s.runFlight(f, res)
+	} else {
+		s.coalesced.Add(1)
+		s.rec.Count("serve.coalesced", 1)
+	}
+	return f, leader
+}
+
+// serveStream answers a Request.Stream synthesis as NDJSON: one
+// "incumbent" event per improving schedule the leader's solve publishes,
+// terminated by exactly one "final" (or "error") event. The first event
+// commits HTTP 200; a failure before anything was streamed still gets
+// the ordinary error status and body, a failure after arrives as the
+// terminal error event. A deadline-cut solve ends with a final event
+// whose partial flag is set and whose response is the best streamed
+// incumbent — never a 206-or-nothing.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, res *resolved) {
+	rr := requestRecordFrom(r.Context())
+	sw := newStreamWriter(w)
+
+	// Warm duplicates: one immediate final event from the store.
+	if !res.req.BypassStore {
+		if ent, ok := s.store.get(res.id); ok {
+			s.storeHits.Add(1)
+			s.rec.Count("serve.store.hits", 1)
+			if rr != nil {
+				rr.Cache = cacheTierStore
+			}
+			resp := ent.resp
+			resp.Cached = true
+			if res.req.IncludeSchedule {
+				resp.Schedule = ToScheduleJSON(ent.sched)
+			}
+			sw.emit(StreamEvent{Event: StreamEventFinal, TimeS: resp.PredictedTimeS, Response: &resp})
+			return
+		}
+	}
+
+	f, leader := s.joinOrStart(rr, res)
+	defer s.flights.leave(f)
+	// Subscribe before waiting: the history replay covers everything
+	// published before this point, the live channel everything after.
+	sub := f.subscribe()
+
+wait:
+	for {
+		select {
+		case ev := <-sub:
+			sw.emit(ev)
+		case <-f.done:
+			break wait
+		case <-r.Context().Done():
+			s.errs.Add(1)
+			s.rec.Count("serve.errors", 1)
+			if rr != nil {
+				rr.Error = "client_gone"
+			}
+			if !sw.started {
+				writeAPIError(w, apiErrorf(http.StatusServiceUnavailable, CodeDeadline, "client disconnected: %v", r.Context().Err()))
+			}
+			return
+		}
+	}
+
+	// Every publish happens-before close(f.done), but the select above may
+	// take the done arm while events still sit in the buffer — drain them
+	// so the stream is complete before the terminal event.
+	for drained := false; !drained; {
+		select {
+		case ev := <-sub:
+			sw.emit(ev)
+		default:
+			drained = true
+		}
+	}
+
+	if rr != nil {
+		rr.Leader = leader
+		rr.Coalesced = !leader
+		rr.QueueWaitUS = float64(f.queueWait) / float64(time.Microsecond)
+		rr.SolveUS = float64(f.solve) / float64(time.Microsecond)
+		rr.Spans = f.spans
+		if leader {
+			rr.Cache = f.cache
+		} else {
+			rr.Cache = cacheTierCoal
+		}
+	}
+
+	if f.apiErr != nil {
+		if rr != nil {
+			rr.Error = f.apiErr.Code
+		}
+		if !sw.started {
+			if f.apiErr.Code == CodeQueueFull {
+				_, queued := s.adm.load()
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterHint(s.opts.RetryAfter, queued, s.opts.Concurrency)))
+			}
+			writeAPIError(w, f.apiErr)
+			return
+		}
+		sw.emit(StreamEvent{Event: StreamEventError, Error: f.apiErr})
+		return
+	}
+
+	resp := f.resp
+	resp.Coalesced = !leader
+	if rr != nil {
+		rr.Partial = resp.Partial
+	}
+	if res.req.IncludeSchedule {
+		resp.Schedule = ToScheduleJSON(f.sched)
+	}
+	sw.emit(StreamEvent{Event: StreamEventFinal, TimeS: resp.PredictedTimeS, Partial: resp.Partial, Response: &resp})
 }
 
 // runFlight executes one coalesced solve: admission, deadline, engine
@@ -576,7 +698,27 @@ func (s *Server) runFlight(f *flight, res *resolved) {
 	opts := res.opts
 	opts.Obs = f.rec
 	solveStart := time.Now()
-	result, err := s.eng.Plan(ctx, res.top, res.col, opts)
+	// Every leader solve publishes its incumbent stream onto the flight —
+	// streaming or not — so followers that asked to stream receive the
+	// leader's incumbents live, and the incumbent metrics cover all
+	// traffic. The callback runs on synthesis worker goroutines; publish
+	// and the metric adds are non-blocking.
+	result, err := s.eng.SynthesizeStream(ctx, res.top, res.col, opts, func(inc core.Incumbent) {
+		elapsed := time.Since(solveStart)
+		if inc.Seq == 1 {
+			s.met.ttfi.Observe(elapsed.Seconds())
+		}
+		s.met.incumbents.With(inc.Source).Inc()
+		f.publish(StreamEvent{
+			Event:     StreamEventIncumbent,
+			Seq:       inc.Seq,
+			TimeS:     inc.Time,
+			BoundS:    inc.Bound,
+			Source:    inc.Source,
+			Engine:    inc.Engine,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		})
+	})
 	f.solve = time.Since(solveStart)
 	sp.End()
 	s.met.solveDur.With(strings.ToLower(res.col.Kind.String()), strings.ToLower(res.req.Topology)).Observe(f.solve.Seconds())
@@ -771,8 +913,18 @@ func (s *Server) DrainOnSignal(hs *http.Server, drainTimeout time.Duration, sigs
 	return done
 }
 
-func retryAfterSeconds(d time.Duration) int {
-	secs := int(d / time.Second)
+// retryAfterHint derives the 429 Retry-After from current load rather
+// than a constant: the base hint scales with how many flights are
+// already queued per solve slot — a rough estimate of how many base
+// intervals must drain before a retry can even enter the queue. Floor
+// 1s (the header is integer seconds, and 0 would invite a tight retry
+// loop).
+func retryAfterHint(base time.Duration, queued, concurrency int) int {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	scale := 1 + float64(queued)/float64(concurrency)
+	secs := int(math.Ceil(base.Seconds() * scale))
 	if secs < 1 {
 		secs = 1
 	}

@@ -38,6 +38,13 @@ type serveMetrics struct {
 
 	prewarm *obs.CounterVec // syccl_prewarm_total{result}
 
+	// incumbents counts every schedule the pipeline published as a new
+	// best-so-far, labeled by the producing stage; ttfi measures how
+	// long a leader solve takes to surface its first incumbent — the
+	// latency a streaming client waits before seeing any schedule.
+	incumbents *obs.CounterVec // syccl_incumbents_total{source}
+	ttfi       *obs.Histogram  // syccl_time_to_first_incumbent_seconds
+
 	queueWait *obs.Histogram // syccl_queue_wait_seconds
 
 	inflight  *obs.Gauge // syccl_inflight_requests
@@ -73,6 +80,11 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		"collective", "topology")
 	m.prewarm = reg.Counter("syccl_prewarm_total",
 		"Background prewarm sweep outcomes.", "result")
+	m.incumbents = reg.Counter("syccl_incumbents_total",
+		"Incumbent schedules published by the synthesis pipeline, by source stage (direct, coarse, ring, fine).",
+		"source")
+	m.ttfi = reg.Histogram("syccl_time_to_first_incumbent_seconds",
+		"Time from solve start to the first published incumbent.", obs.LatencyBuckets).With()
 	m.queueWait = reg.Histogram("syccl_queue_wait_seconds",
 		"Time flights spend waiting for an admission slot.", obs.LatencyBuckets).With()
 
@@ -185,6 +197,16 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers can push
+// each NDJSON event immediately. Embedding alone is not enough: a type
+// assertion on the middleware's wrapper only finds Flusher when the
+// method is declared on the wrapper itself.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // accessLine is the structured access-log record: exactly one JSON line

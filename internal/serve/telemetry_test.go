@@ -239,7 +239,7 @@ func TestMetricNameLint(t *testing.T) {
 	nameRE := regexp.MustCompile(`^syccl_[a-z0-9_]+$`)
 	knownLabels := map[string]bool{
 		"collective": true, "topology": true, "cache": true,
-		"outcome": true, "result": true, "kind": true,
+		"outcome": true, "result": true, "kind": true, "source": true,
 	}
 	fams := s.Metrics().Families()
 	if len(fams) < 10 {

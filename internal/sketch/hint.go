@@ -1,0 +1,237 @@
+package sketch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Hint is a TACCL-style communication sketch hint: a partial human (or
+// upstream-system) specification of the schedule shape that seeds the
+// search front and filters the enumerated sketches. All fields are
+// optional; the zero Hint constrains nothing.
+//
+// Constraints are hard: a sketch that violates any stated field is never
+// emitted, so a hinted search explores a (much) smaller space and the
+// caller's cache keys must distinguish hinted from unhinted runs (see
+// Canonical).
+type Hint struct {
+	// DimOrder constrains the dimension walked at each stage: stage k
+	// (0-based) may only use dimension DimOrder[k]. Stages beyond the
+	// listed prefix are unconstrained. An entry also implies single-
+	// dimension stages for the constrained prefix.
+	DimOrder []int
+	// GroupSizes constrains the per-group destination count at each
+	// stage: stage k must fan out to exactly GroupSizes[k] destinations
+	// per participating group. Stages beyond the prefix are
+	// unconstrained.
+	GroupSizes []int
+	// Family names an algorithm family: "tree" restricts every stage to
+	// a single dimension (classic hierarchical trees), "flat" restricts
+	// every stage to full fan-out (shallow latency-optimal shapes).
+	// Empty means any.
+	Family string
+}
+
+// Hint family values accepted by ParseHint.
+const (
+	FamilyAny  = ""
+	FamilyTree = "tree"
+	FamilyFlat = "flat"
+)
+
+// IsZero reports whether the hint constrains nothing. A nil hint is zero.
+func (h *Hint) IsZero() bool {
+	return h == nil || (len(h.DimOrder) == 0 && len(h.GroupSizes) == 0 && h.Family == FamilyAny)
+}
+
+// Canonical renders the hint as its canonical spec string — the exact
+// form ParseHint accepts — with fields in fixed order and empty fields
+// omitted. A zero (or nil) hint canonicalizes to "". The canonical form
+// is what cache keys and plan keys embed, so hinted and unhinted requests
+// never collide and two spellings of the same hint always do.
+func (h *Hint) Canonical() string {
+	if h.IsZero() {
+		return ""
+	}
+	var parts []string
+	if len(h.DimOrder) > 0 {
+		parts = append(parts, "dims="+joinInts(h.DimOrder))
+	}
+	if len(h.GroupSizes) > 0 {
+		parts = append(parts, "sizes="+joinInts(h.GroupSizes))
+	}
+	if h.Family != FamilyAny {
+		parts = append(parts, "family="+h.Family)
+	}
+	return strings.Join(parts, ";")
+}
+
+func joinInts(xs []int) string {
+	ss := make([]string, len(xs))
+	for i, x := range xs {
+		ss[i] = strconv.Itoa(x)
+	}
+	return strings.Join(ss, ",")
+}
+
+// ParseHint parses a hint spec of semicolon-separated fields:
+//
+//	dims=1,0;sizes=4,2;family=tree
+//
+// dims lists the dimension index to use at each stage, sizes the
+// per-group destination count at each stage, and family one of "tree" or
+// "flat". Fields may appear in any order, each at most once; whitespace
+// around separators is ignored. An empty (or all-whitespace) spec returns
+// (nil, nil) — no hint.
+func ParseHint(spec string) (*Hint, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	h := &Hint{}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("sketch: hint field %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if seen[key] {
+			return nil, fmt.Errorf("sketch: hint field %q repeated", key)
+		}
+		seen[key] = true
+		switch key {
+		case "dims":
+			xs, err := parseIntList(val, 0)
+			if err != nil {
+				return nil, fmt.Errorf("sketch: hint dims: %v", err)
+			}
+			h.DimOrder = xs
+		case "sizes":
+			xs, err := parseIntList(val, 1)
+			if err != nil {
+				return nil, fmt.Errorf("sketch: hint sizes: %v", err)
+			}
+			h.GroupSizes = xs
+		case "family":
+			switch val {
+			case FamilyTree, FamilyFlat:
+				h.Family = val
+			default:
+				return nil, fmt.Errorf("sketch: unknown hint family %q (want tree or flat)", val)
+			}
+		default:
+			return nil, fmt.Errorf("sketch: unknown hint field %q (want dims, sizes, or family)", key)
+		}
+	}
+	if h.IsZero() {
+		return nil, nil
+	}
+	return h, nil
+}
+
+// maxHintStages bounds the per-stage constraint lists so a hostile spec
+// cannot make downstream keys or loops unbounded.
+const maxHintStages = 64
+
+func parseIntList(s string, min int) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty entry in %q", s)
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", part)
+		}
+		if v < min || v > 1<<20 {
+			return nil, fmt.Errorf("entry %d out of range [%d, %d]", v, min, 1<<20)
+		}
+		out = append(out, v)
+	}
+	if len(out) > maxHintStages {
+		return nil, fmt.Errorf("more than %d entries", maxHintStages)
+	}
+	return out, nil
+}
+
+// Validate checks the hint against a concrete topology: every constrained
+// dimension must exist. Group sizes and family need no topology check —
+// an unsatisfiable size simply yields no sketches.
+func (h *Hint) Validate(numDims int) error {
+	if h == nil {
+		return nil
+	}
+	for _, d := range h.DimOrder {
+		if d < 0 || d >= numDims {
+			return fmt.Errorf("sketch: hint dimension %d out of range (topology has %d dimensions)", d, numDims)
+		}
+	}
+	return nil
+}
+
+// allowsDim reports whether the hint permits dimension d at stage k.
+func (h *Hint) allowsDim(k, d int) bool {
+	if h == nil {
+		return true
+	}
+	if k < len(h.DimOrder) && h.DimOrder[k] != d {
+		return false
+	}
+	return true
+}
+
+// stageSize returns the forced destination count for stage k, or 0 when
+// the stage is unconstrained.
+func (h *Hint) stageSize(k int) int {
+	if h == nil || k >= len(h.GroupSizes) {
+		return 0
+	}
+	return h.GroupSizes[k]
+}
+
+// singleDim reports whether stage k must use exactly one dimension:
+// family tree constrains every stage, and a DimOrder entry pins the
+// stage to its named dimension.
+func (h *Hint) singleDim(k int) bool {
+	if h == nil {
+		return false
+	}
+	return h.Family == FamilyTree || k < len(h.DimOrder)
+}
+
+// Matches reports whether a complete sketch satisfies every hint
+// constraint. The search enforces the constraints during enumeration;
+// Matches exists for callers that filter externally produced sketches
+// (and for tests asserting the search's output).
+func (h *Hint) Matches(s *Sketch) bool {
+	if h.IsZero() {
+		return true
+	}
+	// Family flat (full fan-out) is structural — the sub-demand must cover
+	// every remaining uninformed GPU of its group — and is enforced during
+	// enumeration; Matches checks the per-stage dimension and count
+	// constraints, which are inspectable on the finished sketch.
+	for k, st := range s.Stages {
+		dims := map[int]bool{}
+		for _, sd := range st {
+			dims[sd.Dim] = true
+			if want := h.stageSize(k); want > 0 && len(sd.Dsts) != want {
+				return false
+			}
+		}
+		if h.singleDim(k) && len(dims) != 1 {
+			return false
+		}
+		if k < len(h.DimOrder) && !dims[h.DimOrder[k]] {
+			return false
+		}
+	}
+	return true
+}

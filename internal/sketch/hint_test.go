@@ -1,0 +1,128 @@
+package sketch
+
+import (
+	"context"
+	"testing"
+
+	"syccl/internal/topology"
+)
+
+func TestParseHint(t *testing.T) {
+	cases := []struct {
+		spec      string
+		canonical string
+		wantErr   bool
+	}{
+		{"", "", false},
+		{"   ", "", false},
+		{"dims=1,0", "dims=1,0", false},
+		{"sizes=4,2", "sizes=4,2", false},
+		{"family=tree", "family=tree", false},
+		{"family=flat", "family=flat", false},
+		{"dims=1,0;sizes=4,2;family=tree", "dims=1,0;sizes=4,2;family=tree", false},
+		// Field order and whitespace normalize away.
+		{"family=tree; dims=1,0 ; sizes=4,2", "dims=1,0;sizes=4,2;family=tree", false},
+		{"dims=1;;family=flat", "dims=1;family=flat", false},
+		{"family=ring", "", true},
+		{"dims=a", "", true},
+		{"dims=-1", "", true},
+		{"sizes=0", "", true},
+		// Cut splits at the first '=', leaving value "1=2" — a bad integer.
+		{"dims=1=2", "", true},
+		{"bogus=1", "", true},
+		{"dims=1;dims=2", "", true},
+		{"justtext", "", true},
+	}
+	for _, c := range cases {
+		h, err := ParseHint(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseHint(%q): expected error, got %+v", c.spec, h)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseHint(%q): %v", c.spec, err)
+			continue
+		}
+		if got := h.Canonical(); got != c.canonical {
+			t.Errorf("ParseHint(%q).Canonical() = %q, want %q", c.spec, got, c.canonical)
+		}
+		// Canonical form round-trips to the same hint.
+		again, err := ParseHint(h.Canonical())
+		if err != nil {
+			t.Errorf("re-parse %q: %v", h.Canonical(), err)
+		} else if again.Canonical() != h.Canonical() {
+			t.Errorf("canonical not a fixed point: %q vs %q", again.Canonical(), h.Canonical())
+		}
+	}
+}
+
+func TestHintValidate(t *testing.T) {
+	h := &Hint{DimOrder: []int{0, 1}}
+	if err := h.Validate(2); err != nil {
+		t.Fatalf("valid hint rejected: %v", err)
+	}
+	if err := h.Validate(1); err == nil {
+		t.Fatal("out-of-range dimension accepted")
+	}
+	var nilHint *Hint
+	if err := nilHint.Validate(0); err != nil {
+		t.Fatalf("nil hint: %v", err)
+	}
+}
+
+// hintTopo is a 2-dimension fabric (4 servers x 4 GPUs) with enough
+// structure for dimension-order and size constraints to bite.
+func hintTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.Build(topology.Config{
+		Name: "hint-test", Servers: 4, GPUsPerServer: 4,
+		NVAlpha: 1e-6, NVBeta: 1 / 200e9, NetAlpha: 5e-6, NetBeta: 1 / 50e9,
+	})
+}
+
+func TestSearchHonorsHint(t *testing.T) {
+	top := hintTopo(t)
+	unhinted := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
+	if len(unhinted) == 0 {
+		t.Fatal("unhinted search found nothing")
+	}
+
+	for _, h := range []*Hint{
+		{DimOrder: []int{1, 0}},
+		{DimOrder: []int{0, 1}},
+		{Family: FamilyTree},
+		{GroupSizes: []int{1}},
+		{DimOrder: []int{1}, GroupSizes: []int{3}, Family: FamilyTree},
+	} {
+		got := SearchBroadcast(context.Background(), top, 0, SearchOptions{Hint: h})
+		if len(got) == 0 {
+			t.Errorf("hint %q: search found nothing", h.Canonical())
+			continue
+		}
+		if len(got) >= len(unhinted) {
+			t.Errorf("hint %q: %d sketches, expected fewer than the %d unhinted",
+				h.Canonical(), len(got), len(unhinted))
+		}
+		for _, sk := range got {
+			if !h.Matches(sk) {
+				t.Errorf("hint %q: emitted sketch violates the hint: %+v", h.Canonical(), sk)
+			}
+			if err := sk.Validate(top); err != nil {
+				t.Errorf("hint %q: invalid sketch: %v", h.Canonical(), err)
+			}
+		}
+	}
+}
+
+func TestSearchUnsatisfiableHint(t *testing.T) {
+	top := hintTopo(t)
+	// No group has 100 uninformed members, so a forced size of 100 can
+	// never be satisfied: the search must return nothing rather than
+	// sketches that ignore the hint.
+	got := SearchBroadcast(context.Background(), top, 0, SearchOptions{Hint: &Hint{GroupSizes: []int{100}}})
+	if len(got) != 0 {
+		t.Fatalf("unsatisfiable hint produced %d sketches", len(got))
+	}
+}

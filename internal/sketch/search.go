@@ -32,6 +32,12 @@ type SearchOptions struct {
 	// MaxCountChoices bounds how many distinct destination counts are
 	// tried per dimension per stage (default 3: full, half, one).
 	MaxCountChoices int
+	// Hint optionally constrains the enumeration (TACCL-style sketch
+	// hints): per-stage dimension order, per-stage destination counts,
+	// and an algorithm family. Constraints are hard filters, so hinted
+	// searches must key caches differently from unhinted ones (see
+	// Hint.Canonical). Nil constrains nothing.
+	Hint *Hint
 	// Rec optionally records a search span plus node/sketch counters
 	// (nil: no instrumentation).
 	Rec *obs.Recorder
@@ -55,6 +61,17 @@ func (o SearchOptions) withDefaults(top *topology.Topology, scatter bool) Search
 	}
 	if scatter {
 		o.FullFanoutOnly = true
+	}
+	if o.Hint != nil {
+		if o.Hint.Family == FamilyFlat {
+			o.FullFanoutOnly = true
+		}
+		// A dimension order longer than the stage budget is an explicit
+		// ask for a deeper tree (including dimension reuse on Scatter,
+		// where MaxStages > NumDims is the documented relay opt-out).
+		if len(o.Hint.DimOrder) > o.MaxStages {
+			o.MaxStages = len(o.Hint.DimOrder)
+		}
 	}
 	return o
 }
@@ -175,9 +192,14 @@ func (s *searcher) recurse(sk *Sketch, informed []bool, remaining, usedDims int)
 	// sweeps — deeper trees with dimension reuse become searchable.
 	limitRelays := s.scatter && s.opts.MaxStages <= s.top.NumDims()
 
+	stage := len(sk.Stages)
 	var eligible []dimState
 	for d := 0; d < s.top.NumDims(); d++ {
 		if limitRelays && usedDims&(1<<d) != 0 {
+			continue
+		}
+		// Hint: a constrained stage only walks its named dimension.
+		if !s.opts.Hint.allowsDim(stage, d) {
 			continue
 		}
 		dim := s.top.Dim(d)
@@ -258,6 +280,11 @@ func (s *searcher) recurse(sk *Sketch, informed []bool, remaining, usedDims int)
 	})
 
 	for _, mask := range subsets {
+		// Hint: tree-family (and explicitly dim-ordered) stages use
+		// exactly one dimension.
+		if s.opts.Hint.singleDim(stage) && popcount(mask) != 1 {
+			continue
+		}
 		var chosen []dimState
 		for i := range eligible {
 			if mask&(1<<i) != 0 {
@@ -271,10 +298,18 @@ func (s *searcher) recurse(sk *Sketch, informed []bool, remaining, usedDims int)
 	}
 }
 
-// countChoices returns the destination counts to try for a dimension,
-// largest (full fan-out) first.
-func (s *searcher) countChoices(ds dimState) []int {
+// countChoices returns the destination counts to try for a dimension at
+// the given stage, largest (full fan-out) first. A hinted stage size
+// forces one count (or none, pruning the branch, when it is infeasible
+// from this state or contradicts full fan-out).
+func (s *searcher) countChoices(ds dimState, stage int) []int {
 	full := ds.minUn
+	if forced := s.opts.Hint.stageSize(stage); forced > 0 {
+		if forced > full || (s.opts.FullFanoutOnly && forced != full) {
+			return nil
+		}
+		return []int{forced}
+	}
 	if s.opts.FullFanoutOnly || full == 1 {
 		return []int{full}
 	}
@@ -307,7 +342,7 @@ func (s *searcher) enumCounts(sk *Sketch, informed []bool, usedDims int, chosen 
 		s.applyStage(sk, informed, usedDims, chosen, counts)
 		return
 	}
-	for _, c := range s.countChoices(chosen[len(counts)]) {
+	for _, c := range s.countChoices(chosen[len(counts)], len(sk.Stages)) {
 		s.enumCounts(sk, informed, usedDims, chosen, append(counts, c))
 		if s.done() {
 			return

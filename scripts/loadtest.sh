@@ -6,17 +6,19 @@
 #
 # The generator (cmd/syccl-loadtest) spins up an in-process daemon on a
 # loopback port, drives a cold phase (distinct demands — every request is
-# a genuine synthesis) and a warm phase (one demand repeated — after the
-# first, everything is coalesced or store-served), and records p50/p99
-# latency per phase plus the coalescing hit rate read from /statsz.
+# a genuine synthesis), a streaming phase (stream:true cold demands timed
+# to their first incumbent event, recorded as ttfi p50/p99), and a warm
+# phase (one demand repeated — after the first, everything is coalesced
+# or store-served), and records p50/p99 latency per phase plus the
+# coalescing hit rate read from /statsz.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out_json=BENCH_serve.json
-args=(-cold 16 -warm 256 -concurrency 8)
+args=(-cold 16 -stream 16 -warm 256 -concurrency 8)
 if [ "${1:-}" = "-quick" ]; then
     out_json=$(mktemp -t bench_serve_smoke.XXXXXX.json)
-    args=(-cold 4 -warm 16 -concurrency 4)
+    args=(-cold 4 -stream 4 -warm 16 -concurrency 4)
 fi
 
 go run ./cmd/syccl-loadtest "${args[@]}" -out "$out_json"

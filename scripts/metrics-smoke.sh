@@ -37,6 +37,17 @@ req_id=$(curl -fsS -D - -o "$workdir/resp.json" "$BASE/v1/synthesize" \
 [ -n "$req_id" ] || { echo "FAIL: no X-Syccl-Request header"; exit 1; }
 echo "request id: $req_id"
 
+echo "== drive one streaming synthesis (NDJSON) =="
+curl -fsS -D "$workdir/stream.hdr" -o "$workdir/stream.ndjson" "$BASE/v1/synthesize" \
+    -d '{"topology":"dgx4","collective":"allreduce","size":"1M","stream":true}'
+grep -qi '^content-type: application/x-ndjson' "$workdir/stream.hdr" \
+    || { echo "FAIL: stream response not NDJSON"; exit 1; }
+grep -q '"event":"incumbent"' "$workdir/stream.ndjson" \
+    || { echo "FAIL: stream carried no incumbent events"; exit 1; }
+tail -n 1 "$workdir/stream.ndjson" | grep -q '"event":"final"' \
+    || { echo "FAIL: stream not terminated by a final event"; exit 1; }
+echo "ok"
+
 echo "== scrape /metrics =="
 curl -fsS "$BASE/metrics" > "$workdir/metrics.txt"
 
@@ -65,7 +76,9 @@ for fam in \
     syccl_persist_snapshots_total \
     syccl_persist_entries \
     syccl_persist_bytes \
-    syccl_prewarm_total
+    syccl_prewarm_total \
+    syccl_incumbents_total \
+    syccl_time_to_first_incumbent_seconds
 do
     grep -q "^# TYPE $fam " "$workdir/metrics.txt" || { echo "FAIL: family $fam missing"; exit 1; }
 done
@@ -102,6 +115,21 @@ fi
 # The cold solve wrote its sub-schedules through to disk.
 grep -q '^syccl_persist_stores_total{result="written"} [1-9]' "$workdir/metrics.txt" \
     || { echo "FAIL: persist write-through not counted"; exit 1; }
+echo "ok"
+
+echo "-- no label drift on incumbent counters --"
+idrift=$(grep '^syccl_incumbents_total{' "$workdir/metrics.txt" \
+    | sed 's/^[^{]*{//; s/}.*//' | tr ',' '\n' | sed 's/=.*//' | sort -u \
+    | grep -Ev '^(source)$' || true)
+if [ -n "$idrift" ]; then
+    echo "FAIL: unknown labels on syccl_incumbents_total: $idrift"; exit 1
+fi
+# Both solves so far were leader flights, so incumbents were published
+# and the first one was timed.
+grep -Eq '^syccl_incumbents_total\{source="[a-z]+"\} [1-9]' "$workdir/metrics.txt" \
+    || { echo "FAIL: no incumbents counted"; exit 1; }
+grep -Eq '^syccl_time_to_first_incumbent_seconds_count [1-9]' "$workdir/metrics.txt" \
+    || { echo "FAIL: time-to-first-incumbent never observed"; exit 1; }
 echo "ok"
 
 echo "== flight recorder =="
