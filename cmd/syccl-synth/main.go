@@ -42,6 +42,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if d := opts.ParsedDelta(); d != nil {
+		fmt.Printf("delta %q applied to %s: synthesizing on degraded topology %s\n",
+			d, opts.Base().Name, top.Name)
+	}
 
 	// Only pay for recording when an exporter will consume it.
 	var rec *obs.Recorder

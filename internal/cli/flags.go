@@ -31,9 +31,14 @@ type SynthFlags struct {
 	Sketch     string
 	Stream     bool
 	StopWithin float64
+	Delta      string
 
 	// hint is the parsed -sketch value, populated by Resolve.
 	hint *sketch.Hint
+	// delta is the parsed -delta value; base is the topology before the
+	// delta was applied. Both populated by Resolve.
+	delta *topology.Delta
+	base  *topology.Topology
 }
 
 // NewSynthFlags registers syccl-synth's flags (including the -coll alias
@@ -59,6 +64,7 @@ func NewSynthFlags(fs *flag.FlagSet) *SynthFlags {
 	fs.StringVar(&f.Sketch, "sketch", "", `sketch hint constraining the search, e.g. "dims=1,0;sizes=4,2;family=tree" (syccl only)`)
 	fs.BoolVar(&f.Stream, "stream", false, "print each improving incumbent schedule as it is found (syccl only)")
 	fs.Float64Var(&f.StopWithin, "stop-within", 0, "stop once the incumbent is within this percentage of the flow lower bound, e.g. 5 (0 = run to completion; syccl only)")
+	fs.StringVar(&f.Delta, "delta", "", `topology delta applied before synthesis, e.g. "kill:3-17,slow:0-8*4" (kill:A-B fails a link, node:N fails a non-GPU node, slow:A-B*F scales link β, lag:A-B*F scales link α)`)
 	return f
 }
 
@@ -66,12 +72,33 @@ func NewSynthFlags(fs *flag.FlagSet) *SynthFlags {
 // the flag was empty).
 func (f *SynthFlags) Hint() *sketch.Hint { return f.hint }
 
+// ParsedDelta returns the topology delta parsed from -delta by Resolve
+// (nil when the flag was empty). When a delta is present, Resolve
+// returns the degraded topology.
+func (f *SynthFlags) ParsedDelta() *topology.Delta { return f.delta }
+
+// Base returns the un-degraded topology resolved from -topo (equal to
+// Resolve's topology when no -delta was given).
+func (f *SynthFlags) Base() *topology.Topology { return f.base }
+
 // Resolve turns the parsed flag values into a topology and collective,
 // surfacing the unknown-topology / bad-size / unknown-collective errors.
 func (f *SynthFlags) Resolve() (*topology.Topology, *collective.Collective, error) {
 	top, err := ParseTopology(f.Topo)
 	if err != nil {
 		return nil, nil, err
+	}
+	f.base = top
+	if f.Delta != "" {
+		delta, err := topology.ParseDelta(f.Delta)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-delta: %v", err)
+		}
+		top, err = delta.Apply(f.base)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-delta: %v", err)
+		}
+		f.delta = delta
 	}
 	size, err := ParseSize(f.Size)
 	if err != nil {

@@ -87,8 +87,8 @@ func newAssembly(top *topology.Topology, col *collective.Collective, combo *sket
 				local: local,
 				demand: &solve.Demand{
 					NumGPUs: len(gpus),
-					Alpha:   dim.Alpha,
-					Beta:    dim.Beta,
+					Alpha:   dim.AlphaOf(k.group),
+					Beta:    dim.BetaOf(k.group),
 				},
 			}
 			a.cells[k] = cd

@@ -44,7 +44,10 @@ func TestAssemblyCellsMergedPerGroupStage(t *testing.T) {
 	col := collective.AllGather(8, 1024)
 	// Two-sketch combination: hierarchical sketches rooted at 0 and 4.
 	base := sketch.SearchBroadcast(context.Background(), top, 0, sketch.SearchOptions{})[0]
-	combo := sketch.ExpandAllToAll(top, base)
+	combo, missing := sketch.ExpandAllToAll(top, base)
+	if len(missing) > 0 {
+		t.Fatalf("healthy topology left roots uncovered: %v", missing)
+	}
 	a, err := newAssembly(top, col, combo)
 	if err != nil {
 		t.Fatal(err)

@@ -86,7 +86,7 @@ func candidateTimeBound(ctx context.Context, top *topology.Topology, col *collec
 	type delivery struct{ dim, piece, gpu int }
 	type arrival struct{ piece, gpu int }
 	load := make(map[port]float64)
-	alphaOf := make(map[int]float64, top.NumDims())
+	alphaOf := make(map[port]float64)
 	seen := make(map[delivery]bool)
 	arr := make(map[arrival]float64)
 	// a.keys is sorted by ascending stage, so arrival chains propagate
@@ -98,7 +98,7 @@ func candidateTimeBound(ctx context.Context, top *topology.Topology, col *collec
 			best = sec
 		}
 		dim := top.Dim(k.dim)
-		alphaOf[k.dim] = dim.Alpha
+		alpha, beta := dim.AlphaOf(k.group), dim.BetaOf(k.group)
 		for _, p := range cd.demand.Pieces {
 			start := math.Inf(1)
 			for _, s := range p.Srcs {
@@ -109,12 +109,14 @@ func candidateTimeBound(ctx context.Context, top *topology.Topology, col *collec
 			if math.IsInf(start, 1) {
 				start = 0
 			}
-			hop := start + dim.Alpha + dim.Beta*p.Bytes
+			hop := start + alpha + beta*p.Bytes
 			for _, j := range p.Dsts {
 				d := delivery{k.dim, p.ID, cd.gpus[j]}
 				if !seen[d] {
 					seen[d] = true
-					load[port{k.dim, cd.gpus[j]}] += dim.Beta * p.Bytes
+					pk := port{k.dim, cd.gpus[j]}
+					load[pk] += beta * p.Bytes
+					alphaOf[pk] = alpha
 				}
 				ak := arrival{p.ID, cd.gpus[j]}
 				if old, ok := arr[ak]; !ok || hop < old {
@@ -124,7 +126,7 @@ func candidateTimeBound(ctx context.Context, top *topology.Topology, col *collec
 		}
 	}
 	for pt, l := range load {
-		if v := l + alphaOf[pt.dim]; v > best {
+		if v := l + alphaOf[pt]; v > best {
 			best = v
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"syccl/internal/collective"
@@ -20,8 +21,8 @@ import (
 // Since "it is difficult to classify chunk sizes as small or large, SyCCL
 // generates both types of combinations for all chunk sizes" — the
 // simulator-ranked evaluation picks the winner.
-func buildCombinations(top *topology.Topology, col *collective.Collective,
-	sketches []*sketch.Sketch, allToAll bool, opts Options) []*sketch.Combination {
+func buildCombinations(ctx context.Context, top *topology.Topology, col *collective.Collective,
+	sketches []*sketch.Sketch, allToAll, scatter bool, opts Options) []*sketch.Combination {
 
 	ranked := rankSketches(top, col.ChunkSize, sketches)
 	take := opts.MaxCombos
@@ -32,7 +33,18 @@ func buildCombinations(top *topology.Topology, col *collective.Collective,
 	var combos []*sketch.Combination
 	if allToAll {
 		for _, sk := range ranked[:take] {
-			combos = append(combos, sketch.ExpandAllToAll(top, sk))
+			combo, missing := sketch.ExpandAllToAll(top, sk)
+			if len(missing) > 0 {
+				// Degraded symmetry: some roots are unreachable through
+				// any verified automorphism. Fill them with a per-root
+				// sketch search; drop the candidate if a root stays
+				// uncoverable.
+				combo = fillMissingRoots(ctx, top, col.ChunkSize, combo, missing, scatter, opts)
+				if combo == nil {
+					continue
+				}
+			}
+			combos = append(combos, combo)
 		}
 	} else {
 		for _, sk := range ranked[:take] {
@@ -103,6 +115,35 @@ func buildCombinations(top *topology.Topology, col *collective.Collective,
 	return combos
 }
 
+// fillMissingRoots completes a partially-expanded all-to-all combination
+// (§4.3 under broken symmetry): for every root the symmetry action could
+// not reach, it runs the cached per-root sketch search and grafts the
+// best-ranked sketch rooted there. Returns nil when any root remains
+// uncoverable (the candidate cannot form a complete all-to-all).
+func fillMissingRoots(ctx context.Context, top *topology.Topology, chunkBytes float64, combo *sketch.Combination,
+	missing []int, scatter bool, opts Options) *sketch.Combination {
+
+	for _, r := range missing {
+		found := false
+		for _, cand := range rankSketches(top, chunkBytes, searchCached(ctx, top, r, scatter, opts)) {
+			if cand.Root == r && cand.Validate(top) == nil {
+				combo.Sketches = append(combo.Sketches, cand)
+				combo.Fracs = append(combo.Fracs, 1)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	// Restore ascending root order for deterministic assembly.
+	sort.SliceStable(combo.Sketches, func(a, b int) bool {
+		return combo.Sketches[a].Root < combo.Sketches[b].Root
+	})
+	return combo
+}
+
 // rankSketches orders sketches by a cheap analytic estimate of their
 // single-chunk completion time at the given chunk size: per stage, the
 // slowest sub-demand's α + β·s·(deliveries per source); stages sum.
@@ -151,7 +192,7 @@ func estimateTime(top *topology.Topology, chunkBytes float64, sk *sketch.Sketch)
 			if perSrc < 1 {
 				perSrc = 1
 			}
-			t := dim.Alpha + dim.Beta*chunkBytes*perSrc
+			t := dim.AlphaOf(sd.Group) + dim.BetaOf(sd.Group)*chunkBytes*perSrc
 			if t > worst {
 				worst = t
 			}

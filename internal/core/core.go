@@ -268,13 +268,17 @@ func (p Phases) Total() time.Duration { return p.Search + p.Combine + p.Solve1 +
 
 // Stats reports synthesis internals.
 type Stats struct {
-	Sketches    int           // sketches emitted by the search
-	Candidates  int           // combinations evaluated in the coarse pass
-	Refined     int           // combinations refined in the fine pass
-	SolverCalls int           // sub-demand solves actually executed
-	CacheHits   int           // sub-demands served by isomorphism mapping
-	CacheMisses int           // sub-demands that fell through to a solver call
-	MaxSolve    time.Duration // longest single sub-demand solve (Fig 17c)
+	Sketches    int // sketches emitted by the search
+	Candidates  int // combinations evaluated in the coarse pass
+	Refined     int // combinations refined in the fine pass
+	SolverCalls int // sub-demand solves actually executed
+	CacheHits   int // sub-demands served by isomorphism mapping
+	CacheMisses int // sub-demands that fell through to a solver call
+	// CrossCacheHits counts sub-demands served directly by the
+	// cross-request solve cache (the engine's memory/persist tiers)
+	// before any in-run solving; replan reuse accounting reads it.
+	CrossCacheHits int
+	MaxSolve       time.Duration // longest single sub-demand solve (Fig 17c)
 	// BoundsComputed counts candidate flow lower bounds evaluated
 	// between the coarse and fine passes; PrunedLB counts the candidates
 	// those bounds eliminated before any fine-pass MILP was built.

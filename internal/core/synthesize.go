@@ -150,6 +150,7 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	t0 := time.Now()
 	var sketches []*sketch.Sketch
 	allToAll := false
+	scatter := false
 	switch col.Kind {
 	case collective.KindSendRecv:
 		// One-to-one needs no sketch machinery: the shortest route —
@@ -171,12 +172,14 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 		sketches = searchCached(ctx, top, col.Root, false, opts)
 	case collective.KindScatter:
 		sketches = searchCached(ctx, top, col.Root, true, opts)
+		scatter = true
 	case collective.KindAllGather:
 		sketches = searchCached(ctx, top, 0, false, opts)
 		allToAll = true
 	case collective.KindAlltoAll:
 		sketches = searchCached(ctx, top, 0, true, opts)
 		allToAll = true
+		scatter = true
 	default:
 		return nil, fmt.Errorf("core: unsupported forward collective %v", col.Kind)
 	}
@@ -194,7 +197,7 @@ func synthesizeForward(ctx context.Context, top *topology.Topology, col *collect
 	// Phase 1b: combinations (§4.2, §4.3).
 	combineSpan := parent.Child("combine")
 	t0 = time.Now()
-	combos := buildCombinations(top, col, sketches, allToAll, opts)
+	combos := buildCombinations(ctx, top, col, sketches, allToAll, scatter, opts)
 	res.Phases.Combine = time.Since(t0)
 	res.Stats.Candidates = len(combos)
 	combineSpan.SetInt("candidates", int64(len(combos)))
@@ -554,6 +557,11 @@ func realizeAll(ctx context.Context, top *topology.Topology, col *collective.Col
 		parallelFor(len(demands), opts.Workers, func(i int) {
 			cached[i] = opts.SolveCache.Lookup(demands[i], solveSig)
 		})
+		for i := range cached {
+			if cached[i] != nil {
+				stats.CrossCacheHits++
+			}
+		}
 	}
 
 	var repOf []int

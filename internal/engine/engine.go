@@ -140,6 +140,14 @@ type Stats struct {
 	// never double-count SolveHits).
 	PersistHits   int64 `json:"persist_hits"`
 	PersistMisses int64 `json:"persist_misses"`
+	// Replans counts Replan calls (including failed ones); ReplanReused
+	// aggregates the sub-demands those replans served from the
+	// cross-request cache tiers, and ReplanInvalidated the cache entries
+	// selective invalidation dropped as unreachable on the degraded
+	// fabric.
+	Replans           int64 `json:"replans"`
+	ReplanReused      int64 `json:"replan_reused"`
+	ReplanInvalidated int64 `json:"replan_invalidated"`
 }
 
 // Engine is a long-lived, concurrency-safe planner. The zero value is not
@@ -169,6 +177,11 @@ type Engine struct {
 	persistHits   atomic.Int64
 	persistMisses atomic.Int64
 
+	replans           atomic.Int64
+	replansErr        atomic.Int64
+	replanReused      atomic.Int64
+	replanInvalidated atomic.Int64
+
 	// Labeled metric children, resolved once at construction so the cache
 	// hot paths pay a single nil-safe atomic add per event.
 	mPlanOK, mPlanPartial, mPlanError       *obs.Counter
@@ -178,6 +191,8 @@ type Engine struct {
 	mEvictSolve, mEvictSketch, mEvictBound  *obs.Counter
 	mBoundPruned, mBoundKept, mBoundsProved *obs.Counter
 	mPersistHit, mPersistMiss               *obs.Counter
+	mReplanOK, mReplanPartial, mReplanError *obs.Counter
+	mReplanReuse                            *obs.Histogram
 }
 
 // New builds an Engine with the given options.
@@ -231,6 +246,14 @@ func New(opts Options) *Engine {
 	e.mBoundPruned = boundsTotal.With("pruned")
 	e.mBoundKept = boundsTotal.With("kept")
 	e.mBoundsProved = boundsTotal.With("proved_optimal")
+	replans := opts.Metrics.Counter("syccl_replan_total",
+		"Fault-reactive replans by outcome.", "result")
+	e.mReplanOK = replans.With("ok")
+	e.mReplanPartial = replans.With("partial")
+	e.mReplanError = replans.With("error")
+	e.mReplanReuse = opts.Metrics.Histogram("syccl_replan_reuse_ratio",
+		"Fraction of replanned sub-demands served from cache.",
+		[]float64{0, 0.25, 0.5, 0.75, 0.9, 1}).With()
 	return e
 }
 
@@ -287,21 +310,24 @@ func (e *Engine) Plan(ctx context.Context, top *topology.Topology, col *collecti
 // Stats returns a snapshot of the engine's lifetime counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Plans:         e.plans.Load(),
-		Cancelled:     e.cancelled.Load(),
-		SolveHits:     e.solveHits.Load(),
-		SolveMisses:   e.solveMisses.Load(),
-		ExactHits:     e.exactHits.Load(),
-		IsoHits:       e.isoHits.Load(),
-		Evictions:     e.evictions.Load(),
-		SketchHits:    e.sketchHits.Load(),
-		SketchMisses:  e.sketchMisses.Load(),
-		BoundHits:     e.boundHits.Load(),
-		BoundMisses:   e.boundMisses.Load(),
-		BoundsPruned:  e.boundsPruned.Load(),
-		BoundsProved:  e.boundsProved.Load(),
-		PersistHits:   e.persistHits.Load(),
-		PersistMisses: e.persistMisses.Load(),
+		Plans:             e.plans.Load(),
+		Cancelled:         e.cancelled.Load(),
+		SolveHits:         e.solveHits.Load(),
+		SolveMisses:       e.solveMisses.Load(),
+		ExactHits:         e.exactHits.Load(),
+		IsoHits:           e.isoHits.Load(),
+		Evictions:         e.evictions.Load(),
+		SketchHits:        e.sketchHits.Load(),
+		SketchMisses:      e.sketchMisses.Load(),
+		BoundHits:         e.boundHits.Load(),
+		BoundMisses:       e.boundMisses.Load(),
+		BoundsPruned:      e.boundsPruned.Load(),
+		BoundsProved:      e.boundsProved.Load(),
+		PersistHits:       e.persistHits.Load(),
+		PersistMisses:     e.persistMisses.Load(),
+		Replans:           e.replans.Load(),
+		ReplanReused:      e.replanReused.Load(),
+		ReplanInvalidated: e.replanInvalidated.Load(),
 	}
 }
 

@@ -20,7 +20,8 @@ func TestStatsJSONGolden(t *testing.T) {
 		`"exact_hits":0,"iso_hits":0,"evictions":0,` +
 		`"sketch_hits":0,"sketch_misses":0,` +
 		`"bound_hits":0,"bound_misses":0,"bounds_pruned":0,"bounds_proved":0,` +
-		`"persist_hits":0,"persist_misses":0}`
+		`"persist_hits":0,"persist_misses":0,` +
+		`"replans":0,"replan_reused":0,"replan_invalidated":0}`
 	if string(got) != golden {
 		t.Errorf("zero Stats JSON drifted:\n got: %s\nwant: %s", got, golden)
 	}
@@ -30,7 +31,8 @@ func TestStatsJSONGolden(t *testing.T) {
 	in := Stats{Plans: 1, Cancelled: 2, SolveHits: 3, SolveMisses: 4,
 		ExactHits: 5, IsoHits: 6, Evictions: 7, SketchHits: 8, SketchMisses: 9,
 		BoundHits: 10, BoundMisses: 11, BoundsPruned: 12, BoundsProved: 13,
-		PersistHits: 14, PersistMisses: 15}
+		PersistHits: 14, PersistMisses: 15,
+		Replans: 16, ReplanReused: 17, ReplanInvalidated: 18}
 	b, err := json.Marshal(in)
 	if err != nil {
 		t.Fatal(err)

@@ -315,6 +315,79 @@ func (s *Store) Put(d *solve.Demand, sig string, sub *solve.SubSchedule) error {
 	return nil
 }
 
+// InvalidateMatching removes every stored entry whose composite exact or
+// iso key starts with one of the prefixes, deleting the backing files,
+// and returns the number of entries removed. It implements the engine's
+// selective invalidation for fault-reactive replanning: entries whose
+// demand shape no longer exists on a degraded fabric are dropped from
+// the disk tier so a later warm boot does not resurrect them. Removal is
+// never a correctness requirement — the store is content-addressed — so
+// a file that fails to delete only costs disk space, not validity.
+func (s *Store) InvalidateMatching(prefixes []string) int {
+	if len(prefixes) == 0 {
+		return 0
+	}
+	match := func(k string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(k, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	s.mu.Lock()
+	victims := make(map[string]bool)
+	for k, p := range s.exact {
+		if match(k) {
+			victims[p] = true
+		}
+	}
+	for k, ps := range s.iso {
+		if match(k) {
+			for _, p := range ps {
+				victims[p] = true
+			}
+		}
+	}
+	removed := 0
+	for k, p := range s.exact {
+		if victims[p] {
+			delete(s.exact, k)
+			removed++
+		}
+	}
+	for k, ps := range s.iso {
+		out := ps[:0:0]
+		for _, p := range ps {
+			if !victims[p] {
+				out = append(out, p)
+			}
+		}
+		switch {
+		case len(out) == 0:
+			delete(s.iso, k)
+		case len(out) != len(ps):
+			s.iso[k] = out
+		}
+	}
+	for p := range victims {
+		if fi, err := os.Stat(p); err == nil {
+			s.bytes -= fi.Size()
+		}
+	}
+	if s.bytes < 0 {
+		s.bytes = 0
+	}
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+
+	for p := range victims {
+		_ = os.Remove(p)
+	}
+	return removed
+}
+
 // SaveSnapshot atomically writes a named opaque snapshot (checksummed
 // like every other file in the store).
 func (s *Store) SaveSnapshot(name string, payload []byte) error {

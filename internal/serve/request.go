@@ -65,6 +65,14 @@ type Request struct {
 	// lower bound (e.g. 5 = accept anything within 5% of provably
 	// optimal). Range [0,100].
 	StopWithinPct float64 `json:"stop_within_pct,omitempty"`
+	// TopologyDelta degrades the topology before synthesis using the
+	// delta spec syntax of topology.ParseDelta — comma-separated
+	// "kill:A-B" (fail link), "node:N" (fail a non-GPU node),
+	// "slow:A-B*F" (scale link β) and "lag:A-B*F" (scale link α) terms,
+	// node IDs as in the base topology. The schedule is synthesized,
+	// keyed, and stored against the degraded fabric; POST /v1/replan
+	// additionally runs selective cache invalidation first.
+	TopologyDelta string `json:"topology_delta,omitempty"`
 }
 
 // Error codes returned in the structured error body.
@@ -74,6 +82,7 @@ const (
 	CodeBadCollective = "bad_collective"
 	CodeBadSize       = "bad_size"
 	CodeBadHint       = "bad_hint"
+	CodeBadDelta      = "bad_delta"
 	CodeBodyTooLarge  = "body_too_large"
 	CodeQueueFull     = "queue_full"
 	CodeDraining      = "draining"
@@ -151,6 +160,14 @@ func DecodeRequest(r io.Reader, maxBytes int64) (*Request, *APIError) {
 	if _, err := sketch.ParseHint(req.SketchHint); err != nil {
 		return nil, apiErrorf(http.StatusBadRequest, CodeBadHint, "%v", err)
 	}
+	// Same split for the delta: syntax here (FuzzDecodeDelta pins that
+	// the parser never panics), feasibility against the topology in
+	// resolve. An absent/blank delta means "healthy topology".
+	if strings.TrimSpace(req.TopologyDelta) != "" {
+		if _, err := topology.ParseDelta(req.TopologyDelta); err != nil {
+			return nil, apiErrorf(http.StatusBadRequest, CodeBadDelta, "%v", err)
+		}
+	}
 	return req, nil
 }
 
@@ -159,8 +176,13 @@ func DecodeRequest(r io.Reader, maxBytes int64) (*Request, *APIError) {
 // engine will run with. The coalescing key is derived from this form so
 // that spelled-out defaults and omitted fields coalesce.
 type resolved struct {
-	req     *Request
+	req *Request
+	// top is the topology synthesis runs on: the base topology, or the
+	// degraded one when the request carries a topology_delta. base and
+	// delta keep the un-degraded inputs for the /v1/replan fast path.
 	top     *topology.Topology
+	base    *topology.Topology
+	delta   *topology.Delta
 	col     *collective.Collective
 	opts    core.Options
 	timeout time.Duration
@@ -174,6 +196,23 @@ func (s *Server) resolve(req *Request) (*resolved, *APIError) {
 	top, err := cli.ParseTopology(req.Topology)
 	if err != nil {
 		return nil, apiErrorf(http.StatusBadRequest, CodeBadTopology, "%v", err)
+	}
+	base := top
+	var delta *topology.Delta
+	if strings.TrimSpace(req.TopologyDelta) != "" {
+		delta, err = topology.ParseDelta(req.TopologyDelta)
+		if err != nil {
+			return nil, apiErrorf(http.StatusBadRequest, CodeBadDelta, "%v", err)
+		}
+	}
+	if !delta.Empty() {
+		// Applying the delta up front makes the degraded fingerprint part
+		// of PlanKey, so degraded and healthy requests never share a
+		// flight, store entry, or schedule ID.
+		top, err = delta.Apply(base)
+		if err != nil {
+			return nil, apiErrorf(http.StatusBadRequest, CodeBadDelta, "%v", err)
+		}
 	}
 	size, err := cli.ParseSize(req.Size)
 	if err != nil {
@@ -216,7 +255,7 @@ func (s *Server) resolve(req *Request) (*resolved, *APIError) {
 	if timeout <= 0 {
 		timeout = s.opts.DefaultTimeout
 	}
-	r := &resolved{req: req, top: top, col: col, opts: opts, timeout: timeout}
+	r := &resolved{req: req, top: top, base: base, delta: delta, col: col, opts: opts, timeout: timeout}
 	// The timeout participates in the key: two identical demands with
 	// different deadlines must not share a flight, or the longer request
 	// would inherit the shorter one's (possibly Partial) result.

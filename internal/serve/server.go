@@ -182,6 +182,22 @@ type SynthesizeResponse struct {
 	// invoking the engine.
 	Cached   bool          `json:"cached"`
 	Schedule *ScheduleJSON `json:"schedule,omitempty"`
+	// Replan carries the fault-reactive bookkeeping for POST /v1/replan
+	// responses; absent on plain synthesize responses.
+	Replan *ReplanJSON `json:"replan,omitempty"`
+}
+
+// ReplanJSON is the replan-specific half of a POST /v1/replan response:
+// what the delta touched, what was invalidated, and how much of the new
+// plan replayed from the engine's warm caches.
+type ReplanJSON struct {
+	Delta         string  `json:"delta"`
+	TouchedGroups int     `json:"touched_groups"`
+	TotalGroups   int     `json:"total_groups"`
+	Invalidated   int     `json:"invalidated"`
+	ReusedSubs    int     `json:"reused_subs"`
+	SolvedSubs    int     `json:"solved_subs"`
+	ReuseRatio    float64 `json:"reuse_ratio"`
 }
 
 // ServerStats is the server half of GET /statsz.
@@ -282,6 +298,7 @@ func New(opts Options) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("POST /v1/replan", s.handleReplan)
 	mux.HandleFunc("GET /v1/schedule/{id}", s.handleSchedule)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -758,6 +775,134 @@ func (s *Server) runFlight(f *flight, res *resolved) {
 		}
 	}
 	f.resp = resp
+}
+
+// handleReplan is the fault-reactive fast path: it takes the same body
+// as /v1/synthesize plus a mandatory topology_delta, runs the engine's
+// Replan — selective cache invalidation followed by synthesis on the
+// degraded topology — and reports the reuse bookkeeping alongside the
+// schedule. Replans are reactive one-shots: they skip the store-read and
+// coalescing tiers (a fault is news; serving yesterday's answer defeats
+// the point) but still write their result through, so follow-up
+// /v1/synthesize calls with the same delta are store hits.
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	sp := s.rec.StartSpan("http.replan")
+	defer sp.End()
+	s.requests.Add(1)
+	s.rec.Count("serve.requests", 1)
+	rr := requestRecordFrom(r.Context())
+
+	fail := func(aerr *APIError) {
+		s.errs.Add(1)
+		s.rec.Count("serve.errors", 1)
+		sp.SetStr("error", aerr.Code)
+		if rr != nil {
+			rr.Error = aerr.Code
+		}
+		writeAPIError(w, aerr)
+	}
+
+	if s.draining.Load() {
+		fail(apiErrorf(http.StatusServiceUnavailable, CodeDraining, "server is draining"))
+		return
+	}
+	req, aerr := DecodeRequest(r.Body, s.opts.MaxBodyBytes)
+	if aerr != nil {
+		fail(aerr)
+		return
+	}
+	if strings.TrimSpace(req.TopologyDelta) == "" {
+		fail(apiErrorf(http.StatusBadRequest, CodeBadDelta, "missing required field %q", "topology_delta"))
+		return
+	}
+	res, aerr := s.resolve(req)
+	if aerr != nil {
+		fail(aerr)
+		return
+	}
+	sp.SetStr("topology", res.top.Name)
+	sp.SetStr("collective", res.col.Kind.String())
+	if rr != nil {
+		rr.Topology = strings.ToLower(res.req.Topology)
+		rr.Collective = strings.ToLower(res.col.Kind.String())
+		rr.PlanKey = res.id
+	}
+
+	queued := time.Now()
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.rejections.Add(1)
+			s.rec.Count("serve.queue.rejections", 1)
+			_, nq := s.adm.load()
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterHint(s.opts.RetryAfter, nq, s.opts.Concurrency)))
+			fail(apiErrorf(http.StatusTooManyRequests, CodeQueueFull,
+				"admission queue full (%d solves running, %d queued); retry later",
+				s.opts.Concurrency, s.opts.QueueDepth))
+		} else {
+			fail(apiErrorf(http.StatusServiceUnavailable, CodeDeadline, "request abandoned while queued"))
+		}
+		return
+	}
+	defer s.adm.release()
+	s.met.queueWait.Observe(time.Since(queued).Seconds())
+
+	ctx := r.Context()
+	if res.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, res.timeout)
+		defer cancel()
+	}
+	psp := s.rec.StartSpan("serve.replan")
+	psp.SetStr("key", res.id)
+	solveStart := time.Now()
+	rres, err := s.eng.Replan(ctx, res.base, res.delta, res.col, res.opts)
+	solve := time.Since(solveStart)
+	psp.End()
+	s.met.solveDur.With(strings.ToLower(res.col.Kind.String()), strings.ToLower(res.req.Topology)).Observe(solve.Seconds())
+	if rr != nil {
+		rr.SolveUS = float64(solve) / float64(time.Microsecond)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			fail(apiErrorf(http.StatusGatewayTimeout, CodeDeadline,
+				"deadline expired before any candidate completed"))
+		} else {
+			fail(apiErrorf(http.StatusInternalServerError, CodeInternal, "replan failed: %v", err))
+		}
+		return
+	}
+
+	resp := s.buildResponse(res, rres.Result)
+	resp.Replan = &ReplanJSON{
+		Delta:         res.delta.String(),
+		TouchedGroups: rres.TouchedGroups,
+		TotalGroups:   rres.TotalGroups,
+		Invalidated:   rres.Invalidated,
+		ReusedSubs:    rres.ReusedSubs,
+		SolvedSubs:    rres.SolvedSubs,
+		ReuseRatio:    rres.ReuseRatio(),
+	}
+	status := http.StatusOK
+	if rres.Partial {
+		status = http.StatusPartialContent
+		resp.ID = ""
+		s.partials.Add(1)
+		s.rec.Count("serve.partial", 1)
+	} else {
+		stored := resp
+		stored.Replan = nil // the store serves plain synthesize responses
+		if evicted := s.store.put(res.id, stored, rres.Schedule); evicted > 0 {
+			s.storeEvictions.Add(int64(evicted))
+			s.rec.Count("serve.store.evictions", float64(evicted))
+		}
+	}
+	if res.req.IncludeSchedule {
+		resp.Schedule = ToScheduleJSON(rres.Schedule)
+	}
+	if rr != nil {
+		rr.Partial = resp.Partial
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {

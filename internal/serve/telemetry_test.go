@@ -255,8 +255,10 @@ func TestMetricNameLint(t *testing.T) {
 				t.Errorf("counter %q must end in _total", f.Name)
 			}
 		case "histogram":
-			if !strings.HasSuffix(f.Name, "_seconds") && !strings.HasSuffix(f.Name, "_bytes") {
-				t.Errorf("histogram %q must carry a unit suffix (_seconds/_bytes)", f.Name)
+			// _ratio is the conventional suffix for dimensionless values.
+			if !strings.HasSuffix(f.Name, "_seconds") && !strings.HasSuffix(f.Name, "_bytes") &&
+				!strings.HasSuffix(f.Name, "_ratio") {
+				t.Errorf("histogram %q must carry a unit suffix (_seconds/_bytes/_ratio)", f.Name)
 			}
 		}
 		for _, l := range f.Labels {

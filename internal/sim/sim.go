@@ -214,6 +214,10 @@ func simulate(ctx context.Context, top *topology.Topology, s *schedule.Schedule,
 		t := s.Transfers[i]
 		dim := top.Dim(t.Dim)
 		class := dim.PortClass
+		// Per-group α/β: degraded topologies carry per-group overrides, so
+		// a transfer is costed by the group it actually crosses.
+		alpha := dim.AlphaOf(dim.GroupOf(t.Src))
+		beta := dim.BetaOf(dim.GroupOf(t.Src))
 		st := &states[i]
 		total := s.Pieces[t.Piece].Bytes
 		per := total / float64(st.nb)
@@ -242,8 +246,8 @@ func simulate(ctx context.Context, top *topology.Topology, s *schedule.Schedule,
 			if f := ingress[t.Dst][class]; f > start {
 				start = f
 			}
-			busy := dim.Beta * per
-			finish := start + dim.Alpha + busy
+			busy := beta * per
+			finish := start + alpha + busy
 			egress[t.Src][class] = start + busy
 			ingress[t.Dst][class] = start + busy
 			res.PortBusy[t.Dim] += busy

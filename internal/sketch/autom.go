@@ -156,10 +156,20 @@ func axisPerms(a topology.Axis) [][]int {
 
 func groupPreserving(top *topology.Topology, perm []int) bool {
 	for _, dim := range top.Dims {
-		for _, grp := range dim.Groups {
+		for g, grp := range dim.Groups {
 			img := dim.GroupOf(perm[grp[0]])
 			for _, gpu := range grp[1:] {
 				if dim.GroupOf(perm[gpu]) != img {
+					return false
+				}
+			}
+			// On degraded topologies groups of one dimension can carry
+			// different α/β; a true symmetry must map groups onto
+			// equally-costed groups, and must not change group size
+			// (degraded partitions need not be uniform).
+			if img >= 0 {
+				if dim.GroupSize(img) != len(grp) ||
+					dim.AlphaOf(img) != dim.AlphaOf(g) || dim.BetaOf(img) != dim.BetaOf(g) {
 					return false
 				}
 			}

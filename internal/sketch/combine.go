@@ -167,22 +167,52 @@ func isIdentityPerm(p []int) bool {
 // ExpandAllToAll implements §4.3: replicate a one-to-all sketch to every
 // GPU as root through the regular symmetry action, producing an N-sketch
 // combination with even per-dimension workload.
-func ExpandAllToAll(top *topology.Topology, sk *Sketch) *Combination {
+//
+// On a healthy topology the regular action always yields valid mappings.
+// On degraded topologies (topology.Delta applied) a Sym permutation may
+// no longer be an automorphism, so every mapped sketch is validated; when
+// the regular action fails for a root, the verified automorphism family
+// is scanned for a permutation carrying the root there. Roots that no
+// symmetry can reach are returned in missing (ascending) for the caller
+// to fill with a per-root sketch search; the returned combination holds
+// the successfully mapped sketches in ascending root order.
+func ExpandAllToAll(top *topology.Topology, sk *Sketch) (combo *Combination, missing []int) {
 	n := top.NumGPUs()
 	sketches := make([]*Sketch, 0, n)
+	var autos [][]int // lazily fetched verified automorphisms
 	for r := 0; r < n; r++ {
 		if r == sk.Root {
 			sketches = append(sketches, sk)
 			continue
 		}
 		p := top.Sym.MapRoot(sk.Root, r)
-		sketches = append(sketches, sk.Map(top, top.Sym.Permutation(p)))
+		if m := sk.Map(top, top.Sym.Permutation(p)); m.Validate(top) == nil {
+			sketches = append(sketches, m)
+			continue
+		}
+		if autos == nil {
+			autos = Automorphisms(top)
+		}
+		found := false
+		for _, perm := range autos {
+			if perm[sk.Root] != r {
+				continue
+			}
+			if m := sk.Map(top, perm); m.Validate(top) == nil {
+				sketches = append(sketches, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, r)
+		}
 	}
-	fracs := make([]float64, n)
+	fracs := make([]float64, len(sketches))
 	for i := range fracs {
 		fracs[i] = 1 // each root's chunk is carried whole by its sketch
 	}
-	return &Combination{Sketches: sketches, Fracs: fracs}
+	return &Combination{Sketches: sketches, Fracs: fracs}, missing
 }
 
 // Integrate implements §4.2 step 2: given one combination per "flavor"

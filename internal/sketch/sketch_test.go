@@ -240,7 +240,10 @@ func TestReplicateBalances(t *testing.T) {
 func TestExpandAllToAll(t *testing.T) {
 	top := topology.H800Small(2) // 8 GPUs
 	sketches := SearchBroadcast(context.Background(), top, 0, SearchOptions{})
-	combo := ExpandAllToAll(top, sketches[0])
+	combo, missing := ExpandAllToAll(top, sketches[0])
+	if len(missing) > 0 {
+		t.Fatalf("healthy topology left roots uncovered: %v", missing)
+	}
 	if len(combo.Sketches) != 8 {
 		t.Fatalf("expanded to %d sketches, want 8", len(combo.Sketches))
 	}

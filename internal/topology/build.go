@@ -169,7 +169,9 @@ func extractDims(t *Topology, cfg Config) {
 	// Dimension 0: intra-server fabric.
 	d0 := components(func(k NodeKind) bool { return k == KindGPU || k == KindNVSwitch })
 	if coarserThanSingletons(d0) {
-		t.Dims = append(t.Dims, newDim(len(t.Dims), "nvswitch", cfg.NVAlpha, cfg.NVBeta, 0, d0, n))
+		dim := newDim(len(t.Dims), "nvswitch", cfg.NVAlpha, cfg.NVBeta, 0, d0, n)
+		dim.Tier = 0
+		t.Dims = append(t.Dims, dim)
 	}
 
 	// Network tiers.
@@ -203,7 +205,9 @@ func extractDims(t *Topology, cfg Config) {
 		// α grows with tier depth: GPU→NIC (0) + tier hops up and down.
 		// All network tiers traverse the same NIC, hence port class 1.
 		alpha := float64(tier) * cfg.NetAlpha
-		t.Dims = append(t.Dims, newDim(len(t.Dims), names[tier], alpha, cfg.NetBeta, 1, grp, n))
+		dim := newDim(len(t.Dims), names[tier], alpha, cfg.NetBeta, 1, grp, n)
+		dim.Tier = tier
+		t.Dims = append(t.Dims, dim)
 		prev = grp
 	}
 }

@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeDelta hammers the delta-spec parser with arbitrary strings —
+// this is the exact surface exposed to untrusted input via the
+// "topology_delta" request field and the -delta CLI flag. Properties:
+// the parser never panics, every rejection returns a nil delta, and
+// every accepted spec canonicalizes to a fixed point (parse → String →
+// parse yields the same canonical form and fingerprint).
+func FuzzDecodeDelta(f *testing.F) {
+	seeds := []string{
+		// Valid: each term kind, combinations, merge and ordering cases.
+		"",
+		"kill:0-1",
+		"kill:1-0",
+		"node:8",
+		"slow:0-8*4",
+		"lag:2-9*1.5",
+		"slow:0-8*2,lag:0-8*3",
+		"node:8,kill:2-4,slow:1-9*6",
+		"slow:3-7*2,slow:3-7*2",
+		"  kill:0-1 , node:2  ",
+		"slow:0-1*0.5",
+		"lag:10-11*1e3",
+		// Invalid: syntax, ranges, degenerate pairs, junk.
+		"kill",
+		"kill:",
+		"kill:0",
+		"kill:0-0",
+		"kill:0-1-2",
+		"kill:-1-2",
+		"kill:a-b",
+		"node:-3",
+		"node:99999999999999999999",
+		"slow:0-1",
+		"slow:0-1*",
+		"slow:0-1*0",
+		"slow:0-1*-2",
+		"slow:0-1*nan",
+		"slow:0-1*inf",
+		"slow:0-1*1e300",
+		"boost:0-1*2",
+		"::",
+		"\x00\xff",
+		strings.Repeat("kill:0-1,", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		d, err := ParseDelta(spec)
+		if err != nil {
+			if d != nil {
+				t.Fatal("error with non-nil delta")
+			}
+			return
+		}
+		if d.Empty() != (d.String() == "") {
+			t.Fatalf("Empty()=%v but String()=%q", d.Empty(), d.String())
+		}
+		for _, n := range d.FailNodes {
+			if n < 0 {
+				t.Fatalf("accepted negative node id %d", n)
+			}
+		}
+		for _, l := range d.FailLinks {
+			if l.A < 0 || l.B < 0 || l.A == l.B {
+				t.Fatalf("accepted degenerate link %+v", l)
+			}
+		}
+		for _, dg := range d.Degrade {
+			if dg.AlphaScale <= 0 || dg.BetaScale <= 0 {
+				t.Fatalf("accepted non-positive scale %+v", dg)
+			}
+		}
+		// Canonical form is a fixed point of parse → String → parse. The
+		// empty canonical form (all terms were no-ops) has no spec to
+		// reparse — ParseDelta("") is deliberately an error so explicit
+		// contexts like -delta reject blank input.
+		canon := d.String()
+		if canon == "" {
+			return
+		}
+		again, err := ParseDelta(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, spec, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonicalization unstable: %q → %q", canon, again.String())
+		}
+		if again.Fingerprint() != d.Fingerprint() {
+			t.Fatalf("fingerprint changed across reparse of %q", canon)
+		}
+	})
+}

@@ -118,9 +118,38 @@ type Dim struct {
 	PortClass int
 	Groups    [][]int // GPU IDs per group, each sorted ascending
 
+	// Tier records which physical switch tier the dimension was extracted
+	// from (0: intra-server fabric, 1..3: leaf/spine/core). Delta
+	// application uses it to re-extract the same dimension from a degraded
+	// physical graph.
+	Tier int
+
 	// groupOf maps GPU ID -> group index within this dimension, or -1 if
 	// the GPU does not participate in the dimension.
 	groupOf []int
+
+	// alphaOf/betaOf hold per-group α/β overrides for degraded topologies.
+	// nil means every group uses the dimension-level Alpha/Beta (the
+	// healthy case); when set they are indexed by group and len(Groups).
+	alphaOf, betaOf []float64
+}
+
+// AlphaOf returns the α of group g, falling back to the dimension-level
+// Alpha when the group carries no degradation override.
+func (d *Dim) AlphaOf(g int) float64 {
+	if d.alphaOf != nil {
+		return d.alphaOf[g]
+	}
+	return d.Alpha
+}
+
+// BetaOf returns the β of group g, falling back to the dimension-level
+// Beta when the group carries no degradation override.
+func (d *Dim) BetaOf(g int) float64 {
+	if d.betaOf != nil {
+		return d.betaOf[g]
+	}
+	return d.Beta
 }
 
 // GroupOf returns the index of the group containing gpu, or -1 if the GPU
@@ -225,6 +254,20 @@ func (t *Topology) Validate() error {
 		if dim.Beta <= 0 {
 			return fmt.Errorf("topology %s: dim %s has non-positive beta", t.Name, dim.Name)
 		}
+		if dim.alphaOf != nil && len(dim.alphaOf) != len(dim.Groups) {
+			return fmt.Errorf("topology %s: dim %s has %d alpha overrides for %d groups", t.Name, dim.Name, len(dim.alphaOf), len(dim.Groups))
+		}
+		if dim.betaOf != nil && len(dim.betaOf) != len(dim.Groups) {
+			return fmt.Errorf("topology %s: dim %s has %d beta overrides for %d groups", t.Name, dim.Name, len(dim.betaOf), len(dim.Groups))
+		}
+		for g := range dim.Groups {
+			if dim.BetaOf(g) <= 0 {
+				return fmt.Errorf("topology %s: dim %s group %d has non-positive beta %g", t.Name, dim.Name, g, dim.BetaOf(g))
+			}
+			if dim.AlphaOf(g) < 0 {
+				return fmt.Errorf("topology %s: dim %s group %d has negative alpha %g", t.Name, dim.Name, g, dim.AlphaOf(g))
+			}
+		}
 	}
 	return nil
 }
@@ -271,24 +314,32 @@ func (t *Topology) BandwidthShare(d int) float64 {
 
 // Fingerprint returns a canonical identity string for the topology's
 // synthesis-relevant structure: GPU count and, per extracted dimension,
-// its (α, β) link class, port class, and exact group membership. Two
-// topologies with equal fingerprints produce identical sketch searches
-// and identical sub-demands, so the fingerprint keys cross-request caches
-// (internal/engine). Name, raw nodes, and links are deliberately
-// excluded: they do not influence synthesis once dimensions are
-// extracted.
+// its (α, β) link class, port class, exact group membership, and any
+// per-group degradation overrides. Two topologies with equal fingerprints
+// produce identical sketch searches and identical sub-demands, so the
+// fingerprint keys cross-request caches (internal/engine). Name, raw
+// nodes, and links are deliberately excluded: they do not influence
+// synthesis once dimensions are extracted.
+//
+// Per-group α/β overrides are appended only for groups where they differ
+// from the dimension-level values, so healthy topologies keep their
+// historical fingerprints while a degraded topology can never alias its
+// healthy twin in the engine/persist key space.
 func (t *Topology) Fingerprint() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "n%d", t.NumGPUs())
 	for _, d := range t.Dims {
 		fmt.Fprintf(&sb, ";d(a%.9g,b%.9g,c%d", d.Alpha, d.Beta, d.PortClass)
-		for _, grp := range d.Groups {
+		for g, grp := range d.Groups {
 			sb.WriteString(",g")
 			for i, gpu := range grp {
 				if i > 0 {
 					sb.WriteByte('.')
 				}
 				fmt.Fprintf(&sb, "%d", gpu)
+			}
+			if a, b := d.AlphaOf(g), d.BetaOf(g); a != d.Alpha || b != d.Beta {
+				fmt.Fprintf(&sb, "@a%.9g@b%.9g", a, b)
 			}
 		}
 		sb.WriteByte(')')

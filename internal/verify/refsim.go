@@ -108,6 +108,8 @@ func ReferenceSimulate(top *topology.Topology, s *schedule.Schedule, blockBytes 
 		t := s.Transfers[pick]
 		dim := top.Dim(t.Dim)
 		class := dim.PortClass
+		alpha := dim.AlphaOf(dim.GroupOf(t.Src))
+		beta := dim.BetaOf(dim.GroupOf(t.Src))
 		nb := numBlocks[pick]
 		per := s.Pieces[t.Piece].Bytes / float64(nb)
 		for b := 0; b < nb; b++ {
@@ -135,8 +137,8 @@ func ReferenceSimulate(top *topology.Topology, s *schedule.Schedule, blockBytes 
 			if f := ingressFree[t.Dst][class]; f > start {
 				start = f
 			}
-			busy := dim.Beta * per
-			finish := start + dim.Alpha + busy
+			busy := beta * per
+			finish := start + alpha + busy
 			egressFree[t.Src][class] = start + busy
 			ingressFree[t.Dst][class] = start + busy
 			blockDone[pick][b] = finish

@@ -48,6 +48,19 @@ tail -n 1 "$workdir/stream.ndjson" | grep -q '"event":"final"' \
     || { echo "FAIL: stream not terminated by a final event"; exit 1; }
 echo "ok"
 
+echo "== drive one replan (degraded dgx4) =="
+# A degrade delta, not a kill: every dgx4 GPU has exactly one NVLink, so
+# any single-link kill would disconnect a GPU and be rejected.
+curl -fsS -o "$workdir/replan.json" "$BASE/v1/replan" \
+    -d '{"topology":"dgx4","collective":"allgather","size":"1M","topology_delta":"slow:0-4*4"}'
+grep -q '"replan":{"delta":"slow:0-4\*4"' "$workdir/replan.json" \
+    || { echo "FAIL: replan response missing bookkeeping"; cat "$workdir/replan.json"; exit 1; }
+# Infeasible deltas are structured 400s.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/replan" \
+    -d '{"topology":"dgx4","collective":"allgather","size":"1M","topology_delta":"kill:0-4"}')
+[ "$code" = "400" ] || { echo "FAIL: disconnecting delta returned $code, want 400"; exit 1; }
+echo "ok"
+
 echo "== scrape /metrics =="
 curl -fsS "$BASE/metrics" > "$workdir/metrics.txt"
 
@@ -78,7 +91,9 @@ for fam in \
     syccl_persist_bytes \
     syccl_prewarm_total \
     syccl_incumbents_total \
-    syccl_time_to_first_incumbent_seconds
+    syccl_time_to_first_incumbent_seconds \
+    syccl_replan_total \
+    syccl_replan_reuse_ratio
 do
     grep -q "^# TYPE $fam " "$workdir/metrics.txt" || { echo "FAIL: family $fam missing"; exit 1; }
 done
@@ -130,6 +145,21 @@ grep -Eq '^syccl_incumbents_total\{source="[a-z]+"\} [1-9]' "$workdir/metrics.tx
     || { echo "FAIL: no incumbents counted"; exit 1; }
 grep -Eq '^syccl_time_to_first_incumbent_seconds_count [1-9]' "$workdir/metrics.txt" \
     || { echo "FAIL: time-to-first-incumbent never observed"; exit 1; }
+echo "ok"
+
+echo "-- no label drift on replan counters --"
+rdrift=$(grep '^syccl_replan_total{' "$workdir/metrics.txt" \
+    | sed 's/^[^{]*{//; s/}.*//' | tr ',' '\n' | sed 's/=.*//' | sort -u \
+    | grep -Ev '^(result)$' || true)
+if [ -n "$rdrift" ]; then
+    echo "FAIL: unknown labels on syccl_replan_total: $rdrift"; exit 1
+fi
+# One successful replan was driven above; the rejected delta fails in
+# DecodeRequest-style validation before the engine, so error stays 0.
+grep -q '^syccl_replan_total{result="ok"} 1$' "$workdir/metrics.txt" \
+    || { echo "FAIL: replan not counted as ok"; exit 1; }
+grep -Eq '^syccl_replan_reuse_ratio_count [1-9]' "$workdir/metrics.txt" \
+    || { echo "FAIL: replan reuse ratio never observed"; exit 1; }
 echo "ok"
 
 echo "== flight recorder =="
